@@ -1,0 +1,50 @@
+// A1: ablation — sensitivity of both policies to the amber (transition)
+// duration Delta-k. The paper fixes Delta-k = 4 s; its utilization argument
+// says transitions are pure overhead, so queuing times should grow with the
+// amber duration for both policies, with the adaptive policy paying per
+// *useful* switch rather than per slot.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/scenario/scenario.hpp"
+#include "src/stats/report.hpp"
+
+int main() {
+  using namespace abp;
+  bench::print_header("Ablation A1: amber-duration sensitivity (Pattern I, 1 h)");
+
+  const double duration = 3600.0 * bench::duration_scale();
+  constexpr std::uint64_t kSeed = 2020;
+
+  stats::TextTable table({"Amber [s]", "UTIL-BP avg queuing [s]", "CAP-BP(16) avg queuing [s]",
+                          "UTIL-BP ambers @J(0,2)"});
+  auto csv = bench::open_csv("ablation_amber");
+  CsvWriter w(csv);
+  w.row({"amber_s", "utilbp_avg_queuing_s", "capbp_avg_queuing_s", "utilbp_transitions"});
+
+  for (double amber : {1.0, 2.0, 4.0, 6.0, 8.0}) {
+    scenario::ScenarioConfig util_cfg =
+        scenario::paper_scenario(traffic::PatternKind::I, core::ControllerType::UtilBp);
+    util_cfg.duration_s = duration;
+    util_cfg.seed = kSeed;
+    util_cfg.controller.util.amber_duration_s = amber;
+    const stats::RunResult util = scenario::run_scenario(util_cfg);
+
+    scenario::ScenarioConfig cap_cfg =
+        scenario::paper_scenario(traffic::PatternKind::I, core::ControllerType::CapBp, 16.0);
+    cap_cfg.duration_s = duration;
+    cap_cfg.seed = kSeed;
+    cap_cfg.controller.fixed_slot.amber_duration_s = amber;
+    const stats::RunResult cap = scenario::run_scenario(cap_cfg);
+
+    table.add_row({stats::TextTable::num(amber, 0),
+                   stats::TextTable::num(util.metrics.average_queuing_time_s()),
+                   stats::TextTable::num(cap.metrics.average_queuing_time_s()),
+                   std::to_string(util.phase_traces[2].transition_count())});
+    w.typed_row(amber, util.metrics.average_queuing_time_s(),
+                cap.metrics.average_queuing_time_s(),
+                util.phase_traces[2].transition_count());
+  }
+  table.print(std::cout);
+  return 0;
+}

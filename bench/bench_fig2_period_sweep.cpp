@@ -1,0 +1,77 @@
+// F2: reproduces Fig. 2 — average queuing time vs CAP-BP control period on
+// the 4 h mixed traffic pattern, with the UTIL-BP result as the reference
+// line that no period choice reaches.
+//
+// Paper shape to match: a U-shaped (convex) CAP-BP curve over the period
+// axis (10-80 s) whose minimum still lies above the UTIL-BP horizontal line.
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/scenario/scenario.hpp"
+#include "src/stats/report.hpp"
+#include "src/util/ascii_chart.hpp"
+
+int main() {
+  using namespace abp;
+  bench::print_header(
+      "Fig. 2: performance comparison for the mixed traffic pattern (4 h)");
+
+  const double duration =
+      traffic::paper_duration_s(traffic::PatternKind::Mixed) * bench::duration_scale();
+  constexpr std::uint64_t kSeed = 2020;
+
+  // UTIL-BP reference (period-free).
+  scenario::ScenarioConfig util_cfg =
+      scenario::paper_scenario(traffic::PatternKind::Mixed, core::ControllerType::UtilBp);
+  util_cfg.duration_s = duration;
+  util_cfg.seed = kSeed;
+  const double util_queuing =
+      scenario::run_scenario(util_cfg).metrics.average_queuing_time_s();
+
+  std::vector<double> periods;
+  for (double p = 10.0; p <= 40.0; p += 2.0) periods.push_back(p);
+  for (double p = 45.0; p <= 80.0; p += 5.0) periods.push_back(p);
+
+  stats::TextTable table({"Period [s]", "CAP-BP avg queuing [s]", "UTIL-BP avg queuing [s]"});
+  ChartSeries cap_series{.name = "CAP-BP (capacity-aware, fixed-length)", .marker = 'o'};
+  ChartSeries util_series{.name = "UTIL-BP (proposed, adaptive)", .marker = '-'};
+
+  auto csv = bench::open_csv("fig2_period_sweep");
+  CsvWriter w(csv);
+  w.row({"period_s", "capbp_avg_queuing_s", "utilbp_avg_queuing_s"});
+
+  double best_cap = 1e18;
+  double best_period = 0.0;
+  for (double period : periods) {
+    scenario::ScenarioConfig cfg = scenario::paper_scenario(
+        traffic::PatternKind::Mixed, core::ControllerType::CapBp, period);
+    cfg.duration_s = duration;
+    cfg.seed = kSeed;
+    const double q = scenario::run_scenario(cfg).metrics.average_queuing_time_s();
+    if (q < best_cap) {
+      best_cap = q;
+      best_period = period;
+    }
+    table.add_row({stats::TextTable::num(period, 0), stats::TextTable::num(q),
+                   stats::TextTable::num(util_queuing)});
+    cap_series.x.push_back(period);
+    cap_series.y.push_back(q);
+    util_series.x.push_back(period);
+    util_series.y.push_back(util_queuing);
+    w.typed_row(period, q, util_queuing);
+  }
+
+  table.print(std::cout);
+  ChartOptions opt;
+  opt.title = "Fig. 2 — avg queuing time vs control period (mixed pattern)";
+  opt.x_label = "Period [s]";
+  opt.y_label = "Avg. queuing time [s]";
+  std::cout << render_chart({cap_series, util_series}, opt);
+
+  std::cout << "\nBest CAP-BP: " << best_cap << " s at period " << best_period
+            << " s; UTIL-BP: " << util_queuing << " s ("
+            << stats::TextTable::num(100.0 * (best_cap - util_queuing) / best_cap, 1)
+            << "% better than the best fixed period)\n";
+  return 0;
+}

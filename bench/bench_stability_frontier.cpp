@@ -1,0 +1,89 @@
+// A5: stability frontier (Section IV, Q1).
+//
+// The paper concedes UTIL-BP forfeits the *maximum-stability guarantee* of
+// idealized back-pressure (transition phases, finite capacities, flow on
+// negative pressure differences). This bench measures what is kept in
+// practice: sweep the demand intensity and report whether the in-network
+// vehicle count stays bounded (stable) or grows through the run (unstable),
+// for UTIL-BP, CAP-BP and fixed-time control.
+//
+// Shape to expect: every policy is stable at low intensity and saturates at
+// high intensity; the adaptive policy sustains at least as much demand as
+// the fixed-length one before its backlog diverges.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/scenario/scenario.hpp"
+#include "src/stats/report.hpp"
+
+namespace {
+
+struct Outcome {
+  double backlog_growth = 0.0;  // last-decile mean / first-decile mean
+  double final_in_network = 0.0;
+  double avg_queuing = 0.0;
+};
+
+Outcome measure(abp::core::ControllerType type, double intensity, double duration) {
+  using namespace abp;
+  scenario::ScenarioConfig cfg =
+      scenario::paper_scenario(traffic::PatternKind::II, type, 16.0);
+  cfg.duration_s = duration;
+  cfg.seed = 2020;
+  // intensity 1.0 = Table II Pattern II rates; higher = proportionally more
+  // vehicles (interarrival_scale is its reciprocal).
+  cfg.demand.interarrival_scale = 1.0 / intensity;
+  const stats::RunResult r = scenario::run_scenario(cfg);
+
+  const auto& v = r.in_network_series.values();
+  Outcome out;
+  if (v.size() >= 20) {
+    const std::size_t decile = v.size() / 10;
+    double head = 0.0, tail = 0.0;
+    for (std::size_t i = 0; i < decile; ++i) {
+      head += v[i];
+      tail += v[v.size() - 1 - i];
+    }
+    out.backlog_growth = tail / std::max(head, 1.0);
+    out.final_in_network = v.back();
+  }
+  out.avg_queuing = r.metrics.average_queuing_time_s();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace abp;
+  bench::print_header("A5: stability frontier — demand intensity sweep (Pattern II base)");
+
+  const double duration = 3600.0 * bench::duration_scale();
+  const core::ControllerType policies[] = {core::ControllerType::UtilBp,
+                                           core::ControllerType::CapBp,
+                                           core::ControllerType::FixedTime};
+
+  stats::TextTable table({"Intensity (x Pattern II)", "Policy", "Backlog growth (x)",
+                          "In network at end", "Avg queuing [s]", "Verdict"});
+  auto csv = bench::open_csv("stability_frontier");
+  CsvWriter w(csv);
+  w.row({"intensity", "policy", "backlog_growth", "final_in_network", "avg_queuing_s",
+         "stable"});
+
+  for (double intensity : {0.5, 0.8, 1.0, 1.2, 1.5, 2.0}) {
+    for (core::ControllerType type : policies) {
+      const Outcome o = measure(type, intensity, duration);
+      // Bounded backlog: the last decile is not a multiple of the first.
+      const bool stable = o.backlog_growth < 2.0;
+      table.add_row({stats::TextTable::num(intensity, 1),
+                     core::controller_type_name(type),
+                     stats::TextTable::num(o.backlog_growth, 2),
+                     stats::TextTable::num(o.final_in_network, 0),
+                     stats::TextTable::num(o.avg_queuing),
+                     stable ? "stable" : "UNSTABLE"});
+      w.typed_row(intensity, core::controller_type_name(type), o.backlog_growth,
+                  o.final_in_network, o.avg_queuing, stable ? 1 : 0);
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

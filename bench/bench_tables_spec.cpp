@@ -1,0 +1,68 @@
+// T1/T2: regenerates the paper's workload specification tables.
+//
+// Table I  — turning probabilities of vehicles entering the network.
+// Table II — average inter-arrival time of vehicles entering the network.
+// These are inputs, not measurements; the bench prints them from the
+// implementation so EXPERIMENTS.md can diff them against the paper verbatim.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/stats/report.hpp"
+#include "src/traffic/patterns.hpp"
+
+int main() {
+  using namespace abp;
+
+  bench::print_header("Table I: turning probabilities of vehicles entering the network");
+  const traffic::TurningTable table = traffic::TurningTable::paper();
+  stats::TextTable t1({"Entering from", "North", "East", "South", "West"});
+  auto row = [&](const std::string& label, auto getter) {
+    std::vector<std::string> cells = {label};
+    for (net::Side s : net::kAllSides) {
+      cells.push_back(stats::TextTable::num(getter(table.entering_from(s)), 1));
+    }
+    t1.add_row(cells);
+  };
+  row("Right-turning probability",
+      [](const traffic::TurningTable::Probabilities& p) { return p.right; });
+  row("Left-turning probability",
+      [](const traffic::TurningTable::Probabilities& p) { return p.left; });
+  row("(straight, derived)",
+      [](const traffic::TurningTable::Probabilities& p) { return p.straight(); });
+  t1.print(std::cout);
+
+  bench::print_header("Table II: average inter-arrival time of vehicles entering the network");
+  stats::TextTable t2({"Pattern", "Description", "North", "East", "South", "West"});
+  const struct {
+    traffic::PatternKind kind;
+    const char* description;
+  } rows[] = {
+      {traffic::PatternKind::I, "adjacent heavy"},
+      {traffic::PatternKind::II, "uniform"},
+      {traffic::PatternKind::III, "opposite heavy"},
+      {traffic::PatternKind::IV, "single heavy"},
+  };
+  for (const auto& r : rows) {
+    const traffic::ArrivalRow arr = traffic::arrival_row(r.kind);
+    t2.add_row({traffic::pattern_name(r.kind), r.description,
+                stats::TextTable::num(arr.on(net::Side::North), 0) + " s",
+                stats::TextTable::num(arr.on(net::Side::East), 0) + " s",
+                stats::TextTable::num(arr.on(net::Side::South), 0) + " s",
+                stats::TextTable::num(arr.on(net::Side::West), 0) + " s"});
+  }
+  t2.print(std::cout);
+
+  auto csv = bench::open_csv("tables_spec");
+  CsvWriter w(csv);
+  w.row({"table", "side_or_pattern", "right", "left", "north", "east", "south", "west"});
+  for (net::Side s : net::kAllSides) {
+    const auto& p = table.entering_from(s);
+    w.typed_row("I", std::string(net::side_name(s)), p.right, p.left, "", "", "", "");
+  }
+  for (const auto& r : rows) {
+    const traffic::ArrivalRow arr = traffic::arrival_row(r.kind);
+    w.typed_row("II", traffic::pattern_name(r.kind), "", "", arr.on(net::Side::North),
+                arr.on(net::Side::East), arr.on(net::Side::South), arr.on(net::Side::West));
+  }
+  return 0;
+}

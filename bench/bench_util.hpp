@@ -1,0 +1,41 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench prints its table/figure to stdout (bench_output.txt captures
+// it) and mirrors the raw series into CSV files under ./bench_results/ for
+// external re-plotting.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "src/util/csv.hpp"
+
+namespace abp::bench {
+
+// Directory that receives the CSV mirrors of every bench result.
+inline std::filesystem::path results_dir() {
+  const std::filesystem::path dir = "bench_results";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// Opens bench_results/<name>.csv for writing, announcing it on stdout.
+inline std::ofstream open_csv(const std::string& name) {
+  const std::filesystem::path path = results_dir() / (name + ".csv");
+  std::cout << "[csv] " << path.string() << "\n";
+  return std::ofstream(path);
+}
+
+// Scales paper durations down when ABP_FAST=1 is set (quick smoke runs).
+inline double duration_scale() {
+  const char* fast = std::getenv("ABP_FAST");
+  return (fast != nullptr && fast[0] == '1') ? 0.1 : 1.0;
+}
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace abp::bench

@@ -1,0 +1,65 @@
+// Head-to-head comparison of the four controllers on the paper's 3x3 grid.
+//
+// Runs one hour of the selected pattern under UTIL-BP, CAP-BP, the original
+// back-pressure policy and a fixed-time controller, and prints a table of
+// network-wide metrics. Usage:
+//   ./build/examples/grid_comparison [pattern] [duration_s]
+// where pattern is one of I, II, III, IV, mixed (default I).
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/scenario/scenario.hpp"
+#include "src/stats/report.hpp"
+
+namespace {
+
+abp::traffic::PatternKind parse_pattern(const std::string& name) {
+  using abp::traffic::PatternKind;
+  if (name == "I") return PatternKind::I;
+  if (name == "II") return PatternKind::II;
+  if (name == "III") return PatternKind::III;
+  if (name == "IV") return PatternKind::IV;
+  if (name == "mixed" || name == "Mixed") return PatternKind::Mixed;
+  std::fprintf(stderr, "unknown pattern '%s' (use I, II, III, IV, mixed)\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace abp;
+
+  const traffic::PatternKind pattern =
+      argc > 1 ? parse_pattern(argv[1]) : traffic::PatternKind::I;
+  const double duration =
+      argc > 2 ? std::atof(argv[2]) : traffic::paper_duration_s(pattern);
+
+  const core::ControllerType policies[] = {
+      core::ControllerType::UtilBp,
+      core::ControllerType::CapBp,
+      core::ControllerType::OriginalBp,
+      core::ControllerType::FixedTime,
+  };
+
+  stats::TextTable table({"Policy", "Avg queuing [s]", "Avg travel [s]", "Completed",
+                          "In network", "Ambers @J(0,2)"});
+  for (core::ControllerType type : policies) {
+    scenario::ScenarioConfig cfg = scenario::paper_scenario(pattern, type);
+    cfg.duration_s = duration;
+    cfg.seed = 2020;
+    const stats::RunResult r = scenario::run_scenario(cfg);
+    table.add_row({core::controller_type_name(type),
+                   stats::TextTable::num(r.metrics.average_queuing_time_s()),
+                   stats::TextTable::num(r.metrics.average_travel_time_s()),
+                   std::to_string(r.metrics.completed),
+                   std::to_string(r.metrics.in_network_at_end),
+                   std::to_string(r.phase_traces[2].transition_count())});
+  }
+
+  std::printf("Pattern %s, %.0f s simulated, 3x3 grid (paper defaults)\n",
+              traffic::pattern_name(pattern).c_str(), duration);
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Rush hour: run the 3x3 grid at three escalating demand levels and watch
+// how UTIL-BP's utilization-aware rules behave as congestion builds — the
+// varying-length phases shorten, amber share rises, and under heavy load the
+// full-road rule (gain beta) stops feeding saturated central roads.
+//
+//   ./build/examples/rush_hour
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/factory.hpp"
+#include "src/microsim/micro_sim.hpp"
+#include "src/net/grid.hpp"
+#include "src/net/validation.hpp"
+#include "src/traffic/demand.hpp"
+#include "src/util/ascii_chart.hpp"
+
+namespace {
+
+struct Segment {
+  const char* label;
+  abp::traffic::DemandConfig demand;
+  char marker;
+};
+
+}  // namespace
+
+int main() {
+  using namespace abp;
+
+  net::GridConfig grid_cfg;  // the paper's 3x3, W=120, mu=1
+  const net::Network network = net::build_grid(grid_cfg);
+  net::validate_or_throw(network);
+
+  // Three 30-minute load levels: calm uniform traffic, doubled uniform
+  // traffic, and a surge at twice the Pattern-I (adjacent-heavy) rates.
+  traffic::DemandConfig calm;
+  calm.pattern = traffic::PatternKind::II;
+  traffic::DemandConfig busy = calm;
+  busy.interarrival_scale = 0.5;
+  traffic::DemandConfig surge;
+  surge.pattern = traffic::PatternKind::I;
+  surge.interarrival_scale = 0.5;
+
+  const Segment segments[] = {
+      {"calm  (Pattern II)", calm, '.'},
+      {"busy  (2x Pattern II)", busy, 'o'},
+      {"surge (2x Pattern I)", surge, '#'},
+  };
+
+  // The same timeline can run as ONE simulation with a piecewise demand
+  // schedule — queues then carry over between load levels, which is the
+  // realistic rush-hour picture; the per-level runs below isolate each level
+  // with a fresh network instead.
+  traffic::DemandConfig scheduled;
+  scheduled.schedule = traffic::DemandSchedule({
+      {.duration_s = 1800.0, .pattern = traffic::PatternKind::II, .interarrival_scale = 1.0},
+      {.duration_s = 1800.0, .pattern = traffic::PatternKind::II, .interarrival_scale = 0.5},
+      {.duration_s = 1800.0, .pattern = traffic::PatternKind::I, .interarrival_scale = 0.5},
+  });
+  {
+    traffic::DemandGenerator demand(network, scheduled, 7);
+    core::ControllerSpec spec;
+    spec.type = core::ControllerType::UtilBp;
+    microsim::MicroSim sim(network, microsim::MicroSimConfig{},
+                           core::make_controllers(spec, network), demand, 11);
+    const stats::RunResult r = sim.finish(3.0 * 1800.0);
+    std::printf(
+        "Continuous 90-min timeline (queues carry over between levels):\n"
+        "  avg queuing %.2f s | completed %zu | peak in-network %.0f vehicles\n\n",
+        r.metrics.average_queuing_time_s(), r.metrics.completed, r.in_network_series.max());
+  }
+
+  std::printf("Per-level runs (fresh network each, 30 min):\n\n");
+  std::vector<ChartSeries> series;
+  std::vector<stats::RunResult> results;
+  for (const Segment& segment : segments) {
+    traffic::DemandGenerator demand(network, segment.demand, 7);
+    core::ControllerSpec spec;
+    spec.type = core::ControllerType::UtilBp;
+    microsim::MicroSim sim(network, microsim::MicroSimConfig{},
+                           core::make_controllers(spec, network), demand, 11);
+    const auto center = network.at_grid(1, 1);
+    sim.watch_road(network.intersection(*center).incoming_on(net::Side::North),
+                   segment.label);
+    results.push_back(sim.finish(1800.0));
+    const stats::RunResult& r = results.back();
+
+    std::printf("%-22s avg queuing %7.2f s | completed %5zu | still inside %4zu\n",
+                segment.label, r.metrics.average_queuing_time_s(), r.metrics.completed,
+                r.metrics.in_network_at_end);
+
+    ChartSeries s{.name = segment.label, .marker = segment.marker};
+    s.x = r.road_series[0].times();
+    s.y = r.road_series[0].values();
+    series.push_back(std::move(s));
+  }
+
+  ChartOptions opt;
+  opt.title = "\nQueue on the north approach of the central junction J(1,1)";
+  opt.x_label = "Time [s]";
+  opt.y_label = "Queued vehicles";
+  opt.height = 14;
+  std::cout << render_chart(series, opt);
+
+  // Phase behaviour at the central junction: adaptive phases shorten and the
+  // amber share grows as the load rises.
+  std::printf("\n%-22s %12s %18s\n", "load level", "ambers", "amber time share");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const stats::PhaseTrace& trace = results[i].phase_traces[4];  // J(1,1)
+    std::printf("%-22s %12d %17.1f%%\n", segments[i].label, trace.transition_count(),
+                100.0 * trace.amber_fraction());
+  }
+  return 0;
+}

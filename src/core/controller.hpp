@@ -1,0 +1,34 @@
+// The signal-controller interface shared by all policies and both simulators.
+//
+// A controller instance manages exactly one intersection (decentralized
+// control). decide() is invoked once per mini-slot with the current local
+// state and returns the phase that must be displayed *now* — including the
+// transition phase (index 0), whose timing the policy manages itself.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/core/observation.hpp"
+#include "src/net/phase.hpp"
+
+namespace abp::core {
+
+class SignalController {
+ public:
+  virtual ~SignalController() = default;
+
+  // Returns the phase to display at obs.time. Implementations must be
+  // monotone in time: calls arrive with non-decreasing obs.time.
+  [[nodiscard]] virtual net::PhaseIndex decide(const IntersectionObservation& obs) = 0;
+
+  // Restores the initial state so the controller can be reused for a new run.
+  virtual void reset() = 0;
+
+  // Short policy name for reports ("UTIL-BP", "CAP-BP", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using ControllerPtr = std::unique_ptr<SignalController>;
+
+}  // namespace abp::core

@@ -1,0 +1,51 @@
+#include "src/core/factory.hpp"
+
+#include <stdexcept>
+
+namespace abp::core {
+
+std::string controller_type_name(ControllerType type) {
+  switch (type) {
+    case ControllerType::UtilBp:
+      return "UTIL-BP";
+    case ControllerType::CapBp:
+      return "CAP-BP";
+    case ControllerType::OriginalBp:
+      return "ORIG-BP";
+    case ControllerType::FixedTime:
+      return "FIXED-TIME";
+  }
+  return "unknown";
+}
+
+ControllerPtr make_controller(const ControllerSpec& spec, IntersectionPlan plan) {
+  switch (spec.type) {
+    case ControllerType::UtilBp:
+      return std::make_unique<UtilBpController>(std::move(plan), spec.util);
+    case ControllerType::CapBp: {
+      FixedSlotBpConfig cfg = spec.fixed_slot;
+      cfg.rule = FixedSlotRule::CapacityAware;
+      return std::make_unique<FixedSlotBpController>(std::move(plan), cfg);
+    }
+    case ControllerType::OriginalBp: {
+      FixedSlotBpConfig cfg = spec.fixed_slot;
+      cfg.rule = FixedSlotRule::Original;
+      return std::make_unique<FixedSlotBpController>(std::move(plan), cfg);
+    }
+    case ControllerType::FixedTime:
+      return std::make_unique<FixedTimeController>(std::move(plan), spec.fixed_time);
+  }
+  throw std::invalid_argument("unknown controller type");
+}
+
+std::vector<ControllerPtr> make_controllers(const ControllerSpec& spec,
+                                            const net::Network& network) {
+  std::vector<ControllerPtr> controllers;
+  controllers.reserve(network.intersections().size());
+  for (const net::Intersection& node : network.intersections()) {
+    controllers.push_back(make_controller(spec, make_plan(network, node)));
+  }
+  return controllers;
+}
+
+}  // namespace abp::core

@@ -1,0 +1,38 @@
+// Config-driven construction of signal controllers.
+//
+// Scenario code (examples, benches, tests) describes the policy for a run
+// with a ControllerSpec and stamps one controller instance per intersection
+// from it — each junction needs its own instance because controllers are
+// stateful and decentralized.
+#pragma once
+
+#include <string>
+
+#include "src/core/bp_fixed.hpp"
+#include "src/core/bp_util.hpp"
+#include "src/core/controller.hpp"
+#include "src/core/fixed_time.hpp"
+#include "src/net/network.hpp"
+
+namespace abp::core {
+
+enum class ControllerType { UtilBp, CapBp, OriginalBp, FixedTime };
+
+[[nodiscard]] std::string controller_type_name(ControllerType type);
+
+struct ControllerSpec {
+  ControllerType type = ControllerType::UtilBp;
+  UtilBpConfig util;
+  FixedSlotBpConfig fixed_slot;
+  FixedTimeConfig fixed_time;
+};
+
+// Builds a controller of the requested type for one junction plan.
+[[nodiscard]] ControllerPtr make_controller(const ControllerSpec& spec, IntersectionPlan plan);
+
+// Convenience: one controller per intersection of the network, indexed by
+// IntersectionId::index().
+[[nodiscard]] std::vector<ControllerPtr> make_controllers(const ControllerSpec& spec,
+                                                          const net::Network& network);
+
+}  // namespace abp::core

@@ -1,0 +1,35 @@
+// Fixed-time (pre-timed) signal controller: cycles through the control phases
+// in order, each with a fixed green duration separated by amber transitions.
+// Classical baseline that uses no state feedback at all; included for the
+// ablation benches and as the simplest reference policy.
+#pragma once
+
+#include <string>
+
+#include "src/core/controller.hpp"
+
+namespace abp::core {
+
+struct FixedTimeConfig {
+  // Green time per control phase.
+  double green_duration_s = 15.0;
+  // Amber between consecutive phases.
+  double amber_duration_s = 4.0;
+};
+
+class FixedTimeController final : public SignalController {
+ public:
+  FixedTimeController(IntersectionPlan plan, FixedTimeConfig config);
+
+  [[nodiscard]] net::PhaseIndex decide(const IntersectionObservation& obs) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "FIXED-TIME"; }
+
+ private:
+  IntersectionPlan plan_;
+  FixedTimeConfig config_;
+  bool started_ = false;
+  double cycle_origin_ = 0.0;
+};
+
+}  // namespace abp::core

@@ -1,0 +1,76 @@
+#include "src/core/gain.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace abp::core {
+
+double pressure(const PressureFn& fn, double queue) {
+  return fn ? fn(queue) : queue;
+}
+
+double wstar(const IntersectionObservation& obs) {
+  double w = 0.0;
+  for (const LinkState& l : obs.links) {
+    w = std::max(w, static_cast<double>(l.downstream_capacity));
+  }
+  return w;
+}
+
+double link_gain_original(const LinkState& link, const PressureFn& fn) {
+  const double diff = pressure(fn, link.upstream_total) - pressure(fn, link.downstream_queue);
+  return std::max(0.0, diff * link.service_rate);
+}
+
+double link_gain_modified(const LinkState& link, double wstar_value, const PressureFn& fn) {
+  const double diff = pressure(fn, link.queue) - pressure(fn, link.downstream_queue);
+  return (diff + wstar_value) * link.service_rate;
+}
+
+double link_gain_util(const LinkState& link, double wstar_value, const GainParams& params) {
+  if (link.downstream_total >= link.downstream_capacity) return params.beta;
+  if (link.queue == 0) return params.alpha;
+  return link_gain_modified(link, wstar_value, params.pressure);
+}
+
+std::vector<double> all_link_gains_util(const IntersectionObservation& obs,
+                                        const GainParams& params) {
+  const double w = wstar(obs);
+  std::vector<double> gains;
+  gains.reserve(obs.links.size());
+  for (const LinkState& l : obs.links) {
+    gains.push_back(link_gain_util(l, w, params));
+  }
+  return gains;
+}
+
+double phase_gain(std::span<const int> phase_links, std::span<const double> link_gains) {
+  double total = 0.0;
+  for (int idx : phase_links) {
+    total += link_gains[static_cast<std::size_t>(idx)];
+  }
+  return total;
+}
+
+double phase_gain_max(std::span<const int> phase_links, std::span<const double> link_gains) {
+  double best = -std::numeric_limits<double>::infinity();
+  for (int idx : phase_links) {
+    best = std::max(best, link_gains[static_cast<std::size_t>(idx)]);
+  }
+  return best;
+}
+
+int phase_argmax_link(std::span<const int> phase_links, std::span<const double> link_gains) {
+  int best_index = -1;
+  double best = -std::numeric_limits<double>::infinity();
+  for (int idx : phase_links) {
+    const double g = link_gains[static_cast<std::size_t>(idx)];
+    if (g > best) {
+      best = g;
+      best_index = idx;
+    }
+  }
+  return best_index;
+}
+
+}  // namespace abp::core

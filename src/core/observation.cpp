@@ -1,0 +1,38 @@
+#include "src/core/observation.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace abp::core {
+
+IntersectionPlan make_plan(const net::Network& network, const net::Intersection& node) {
+  (void)network;
+  IntersectionPlan plan;
+  plan.num_links = static_cast<int>(node.links.size());
+
+  std::unordered_map<LinkId, int> local_index;
+  local_index.reserve(node.links.size());
+  for (int i = 0; i < plan.num_links; ++i) {
+    local_index.emplace(node.links[static_cast<std::size_t>(i)], i);
+  }
+
+  plan.phases.reserve(node.phases.size());
+  for (const net::Phase& phase : node.phases) {
+    std::vector<int> indices;
+    indices.reserve(phase.links.size());
+    for (LinkId lid : phase.links) {
+      const auto it = local_index.find(lid);
+      if (it == local_index.end()) {
+        throw std::logic_error("phase activates a link not owned by the intersection");
+      }
+      indices.push_back(it->second);
+    }
+    plan.phases.push_back(std::move(indices));
+  }
+  if (plan.phases.empty() || !plan.phases.front().empty()) {
+    throw std::logic_error("plan requires phases[0] to be the empty transition phase");
+  }
+  return plan;
+}
+
+}  // namespace abp::core

@@ -1,0 +1,69 @@
+// Controller inputs: the local state Q(k) of one intersection.
+//
+// Back-pressure control is decentralized (paper Section I): a controller sees
+// only its own junction's queue lengths, downstream occupancies and
+// capacities. Both simulators produce IntersectionObservation snapshots in the
+// intersection's canonical link order, and controllers receive the static
+// phase structure once, as an IntersectionPlan, at construction.
+#pragma once
+
+#include <vector>
+
+#include "src/net/intersection.hpp"
+#include "src/net/network.hpp"
+#include "src/net/phase.hpp"
+
+namespace abp::core {
+
+// Per-movement state at time k.
+//
+// Two distinct sensors feed the controllers, mirroring a real deployment:
+// queue-length detectors (vehicles actually queuing, the q of Eqs. 1-8) and
+// occupancy counters (every vehicle physically on the road, which is what
+// the finite capacity W bounds). Pressures are computed from the former;
+// the full-road test q_{i'} = W_{i'} of Eq. (8) uses the latter.
+struct LinkState {
+  // q_i^{i'}(k): vehicles queuing on the dedicated turning lane feeding this
+  // movement.
+  int queue = 0;
+  // q_i(k): vehicles queuing on the whole incoming road (Eq. 1). The
+  // original back-pressure gain (Eq. 5) uses this; UTIL-BP deliberately
+  // does not.
+  int upstream_total = 0;
+  // W_i: capacity of the incoming road.
+  int upstream_capacity = 1;
+  // q_{i'}(k): vehicles queuing on the outgoing road (its pressure).
+  int downstream_queue = 0;
+  // Occupancy of the outgoing road: every vehicle on it, queued or driving,
+  // plus inbound junction-box reservations.
+  int downstream_total = 0;
+  // W_{i'}: capacity of the outgoing road.
+  int downstream_capacity = 1;
+  // mu_i^{i'}: saturation flow of the movement in veh/s.
+  double service_rate = 1.0;
+};
+
+// Snapshot of one junction at decision time t_k. links are ordered exactly as
+// net::Intersection::links / IntersectionPlan.
+struct IntersectionObservation {
+  double time = 0.0;
+  std::vector<LinkState> links;
+};
+
+// Static controller-side view of a junction: which local link indices each
+// phase activates. phases[0] is the transition phase (empty).
+struct IntersectionPlan {
+  int num_links = 0;
+  std::vector<std::vector<int>> phases;
+
+  [[nodiscard]] int num_control_phases() const noexcept {
+    return static_cast<int>(phases.size()) - 1;
+  }
+};
+
+// Builds the plan from a finalized network intersection, translating global
+// LinkIds into local indices into the observation's link array.
+[[nodiscard]] IntersectionPlan make_plan(const net::Network& network,
+                                         const net::Intersection& node);
+
+}  // namespace abp::core

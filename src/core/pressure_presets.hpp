@@ -1,0 +1,28 @@
+// Preset pressure mappings b = f(q) for Eq. (4).
+//
+// The paper uses the identity (f(q) = q) but states the framework only needs
+// a non-decreasing mapping. These presets make the generality concrete and
+// are swept by the ablation benches:
+//   Identity   — the paper's choice; pressure equals queue length.
+//   Sqrt       — concave: long queues saturate, short queues dominate
+//                decisions (fairness-leaning).
+//   Quadratic  — convex: long queues dominate strongly (starvation-averse).
+//   Normalized — q / W: pressure as occupancy fraction, the scaling CAP-BP
+//                uses internally.
+#pragma once
+
+#include <string>
+
+#include "src/core/gain.hpp"
+
+namespace abp::core {
+
+enum class PressureKind { Identity, Sqrt, Quadratic, Normalized };
+
+[[nodiscard]] std::string pressure_kind_name(PressureKind kind);
+
+// Builds the mapping. `capacity` is only used by Normalized (must be > 0).
+// Identity returns an empty function (the gain code's fast path).
+[[nodiscard]] PressureFn make_pressure(PressureKind kind, double capacity = 120.0);
+
+}  // namespace abp::core

@@ -1,0 +1,26 @@
+#include "src/core/sensor.hpp"
+
+#include <algorithm>
+
+namespace abp::core {
+
+int measure_queue(int true_count, const SensorModel& model, Rng& rng) {
+  if (model.perfect()) return true_count;
+  int measured = true_count;
+  if (model.dropout_probability > 0.0 && rng.bernoulli(model.dropout_probability)) {
+    return 0;
+  }
+  if (model.detection_probability < 1.0) {
+    int detected = 0;
+    for (int i = 0; i < true_count; ++i) {
+      if (rng.bernoulli(model.detection_probability)) ++detected;
+    }
+    measured = detected;
+  }
+  if (model.quantization > 1) {
+    measured = (measured / model.quantization) * model.quantization;
+  }
+  return std::max(0, measured);
+}
+
+}  // namespace abp::core

@@ -1,0 +1,37 @@
+// Queue-detector imperfection model.
+//
+// The paper's controller is the cyber half of a CPS: it acts on *measured*
+// queue lengths. Real roadside detectors miss vehicles, quantize counts and
+// occasionally fail outright. This model perturbs the queue measurements the
+// simulators hand to the controllers, so the robustness of each policy to
+// sensing quality can be quantified (bench_sensor_noise). Occupancy counts
+// and capacities are physical admission state, not sensor readings, and are
+// never perturbed.
+#pragma once
+
+#include "src/util/rng.hpp"
+
+namespace abp::core {
+
+struct SensorModel {
+  // Probability that an individual queued vehicle is detected (binomial
+  // thinning of every queue count). 1.0 = perfect detection.
+  double detection_probability = 1.0;
+  // Counts are reported in multiples of this granularity (floor). 1 = exact.
+  // Models coarse loop-detector occupancy bands.
+  int quantization = 1;
+  // Probability that a reading is dropped entirely (stuck-at-zero) for one
+  // decision instant. Models intermittent detector/communication failure.
+  double dropout_probability = 0.0;
+
+  [[nodiscard]] bool perfect() const noexcept {
+    return detection_probability >= 1.0 && quantization <= 1 && dropout_probability <= 0.0;
+  }
+};
+
+// Applies the model to one queue count. Deterministic pass-through when the
+// model is perfect (no RNG consumption, so enabling a perfect sensor does not
+// change a run).
+[[nodiscard]] int measure_queue(int true_count, const SensorModel& model, Rng& rng);
+
+}  // namespace abp::core

@@ -1,0 +1,29 @@
+#include "src/microsim/krauss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace abp::microsim {
+
+double safe_speed(double gap, double leader_speed, const VehicleParams& p) {
+  if (gap <= 0.0) return 0.0;
+  // Krauss (1998): v_safe = -b*tau + sqrt(b^2 tau^2 + v_l^2 + 2 b g).
+  const double b = p.decel_mps2;
+  const double bt = b * p.tau_s;
+  const double radicand = bt * bt + leader_speed * leader_speed + 2.0 * b * gap;
+  const double v = -bt + std::sqrt(std::max(0.0, radicand));
+  return std::max(0.0, v);
+}
+
+double next_speed(double current_speed, double gap, double leader_speed, double speed_limit,
+                  const VehicleParams& p, double dt, double rand01) {
+  const double v_safe = safe_speed(gap, leader_speed, p);
+  const double v_des =
+      std::min({speed_limit, current_speed + p.accel_mps2 * dt, v_safe});
+  // Dawdling: random imperfection, never below zero and never more than one
+  // acceleration step below the desired speed.
+  const double dawdle = p.sigma * p.accel_mps2 * dt * rand01;
+  return std::max(0.0, v_des - dawdle);
+}
+
+}  // namespace abp::microsim

@@ -1,0 +1,30 @@
+// Krauss car-following model (the SUMO default), as pure functions.
+//
+// The model computes a *safe speed* from the gap to the leader such that the
+// follower can always stop behind it assuming the leader brakes at its
+// comfortable deceleration, then clips by speed limit and acceleration, and
+// finally subtracts a random "dawdling" term (driver imperfection).
+//
+// Free functions (no simulator state) so the dynamics are unit-testable:
+// collision freedom and stopping behaviour are asserted directly in
+// tests/microsim_krauss_test.cpp.
+#pragma once
+
+#include "src/microsim/params.hpp"
+
+namespace abp::microsim {
+
+// Maximum speed that guarantees the follower can stop behind the leader.
+// `gap` is the bumper-to-bumper distance minus the standstill minimum gap;
+// `leader_speed` may be zero for a standing obstacle (stop line, queue tail).
+// Both braking at `p.decel_mps2`, reaction time `p.tau_s`.
+[[nodiscard]] double safe_speed(double gap, double leader_speed, const VehicleParams& p);
+
+// One Krauss update: returns the follower's next speed.
+// `rand01` in [0,1) supplies the dawdling draw; pass 0 for deterministic
+// (no-dawdle) behaviour.
+[[nodiscard]] double next_speed(double current_speed, double gap, double leader_speed,
+                                double speed_limit, const VehicleParams& p, double dt,
+                                double rand01);
+
+}  // namespace abp::microsim

@@ -1,0 +1,470 @@
+#include "src/microsim/micro_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "src/microsim/krauss.hpp"
+
+namespace abp::microsim {
+namespace {
+
+// Gap value that behaves as "no obstacle ahead".
+constexpr double kFreeGap = 1e9;
+
+}  // namespace
+
+MicroSim::MicroSim(const net::Network& network, MicroSimConfig config,
+                   std::vector<core::ControllerPtr> controllers,
+                   traffic::DemandGenerator& demand, std::uint64_t seed)
+    : net_(network),
+      config_(config),
+      controllers_(std::move(controllers)),
+      demand_(demand),
+      rng_(seed) {
+  if (!net_.finalized()) throw std::invalid_argument("network must be finalized");
+  if (config_.dt_s <= 0.0) throw std::invalid_argument("dt must be positive");
+  if (config_.control_interval_s < config_.dt_s) {
+    throw std::invalid_argument("control interval must be >= dt");
+  }
+  if (controllers_.size() != net_.intersections().size()) {
+    throw std::invalid_argument("need exactly one controller per intersection");
+  }
+  build_runtime();
+}
+
+void MicroSim::build_runtime() {
+  roads_.resize(net_.roads().size());
+  links_.resize(net_.links().size());
+  displayed_.assign(net_.intersections().size(), net::kTransitionPhase);
+  result_.phase_traces.resize(net_.intersections().size());
+
+  for (const net::Road& road : net_.roads()) {
+    RoadRt& rt = roads_[road.id.index()];
+    if (road.is_exit()) {
+      rt.lanes.push_back(Lane{});  // single unsignalled lane
+      continue;
+    }
+    std::vector<LinkId> movements = net_.links_from(road.id);
+    std::sort(movements.begin(), movements.end(), [&](LinkId a, LinkId b) {
+      return static_cast<int>(net_.link(a).turn) < static_cast<int>(net_.link(b).turn);
+    });
+    if (config_.dedicated_turn_lanes) {
+      // One dedicated lane per feasible movement, ordered Left/Straight/Right.
+      for (LinkId lid : movements) {
+        LinkRt& lrt = links_[lid.index()];
+        lrt.from_road = road.id;
+        lrt.lane_index = static_cast<int>(rt.lanes.size());
+        Lane lane;
+        lane.link = lid;
+        rt.lanes.push_back(std::move(lane));
+      }
+    } else {
+      // One mixed lane shared by all movements: a vehicle's own route turn
+      // selects its movement at the stop line (head-of-line blocking).
+      rt.lanes.push_back(Lane{});
+      for (LinkId lid : movements) {
+        LinkRt& lrt = links_[lid.index()];
+        lrt.from_road = road.id;
+        lrt.lane_index = 0;
+      }
+    }
+  }
+}
+
+void MicroSim::watch_road(RoadId road, std::string series_name) {
+  watches_.push_back({road, result_.road_series.size()});
+  result_.road_series.emplace_back(std::move(series_name));
+}
+
+int MicroSim::lane_count(LinkId link) const {
+  const LinkRt& lrt = links_[link.index()];
+  const Lane& lane =
+      roads_[lrt.from_road.index()].lanes[static_cast<std::size_t>(lrt.lane_index)];
+  if (lane.link) return static_cast<int>(lane.vehicles.size());
+  // Mixed lane: count the vehicles whose route takes this movement.
+  int count = 0;
+  for (VehicleId vid : lane.vehicles) {
+    if (movement_of(vehicles_[vid.index()], lrt.from_road) == link) ++count;
+  }
+  return count;
+}
+
+int MicroSim::road_occupancy(RoadId road) const { return roads_[road.index()].occupancy; }
+
+net::PhaseIndex MicroSim::displayed_phase(IntersectionId node) const {
+  return displayed_[node.index()];
+}
+
+int MicroSim::vehicles_in_network() const {
+  int count = 0;
+  for (const Veh& v : vehicles_) {
+    if (v.loc == Loc::Lane || v.loc == Loc::Junction) ++count;
+  }
+  return count;
+}
+
+std::vector<double> MicroSim::lane_positions(LinkId link) const {
+  const LinkRt& lrt = links_[link.index()];
+  const Lane& lane =
+      roads_[lrt.from_road.index()].lanes[static_cast<std::size_t>(lrt.lane_index)];
+  std::vector<double> positions;
+  positions.reserve(lane.vehicles.size());
+  for (VehicleId vid : lane.vehicles) positions.push_back(vehicles_[vid.index()].pos);
+  return positions;
+}
+
+bool MicroSim::no_overlaps() const {
+  for (const RoadRt& rt : roads_) {
+    for (const Lane& lane : rt.lanes) {
+      for (std::size_t i = 0; i + 1 < lane.vehicles.size(); ++i) {
+        const Veh& ahead = vehicles_[lane.vehicles[i].index()];
+        const Veh& behind = vehicles_[lane.vehicles[i + 1].index()];
+        if (behind.pos > ahead.pos - config_.vehicle.length_m + 1e-6) return false;
+      }
+    }
+  }
+  return true;
+}
+
+int MicroSim::lane_index_for_turn(RoadId road, net::Turn turn) const {
+  const RoadRt& rt = roads_[road.index()];
+  if (!config_.dedicated_turn_lanes) return 0;  // single mixed lane
+  for (std::size_t i = 0; i < rt.lanes.size(); ++i) {
+    if (rt.lanes[i].link && net_.link(*rt.lanes[i].link).turn == turn) {
+      return static_cast<int>(i);
+    }
+  }
+  throw std::logic_error("no lane for requested turn on road " + net_.road(road).name);
+}
+
+std::optional<LinkId> MicroSim::movement_of(const Veh& v, RoadId road) const {
+  if (v.next_turn >= v.route.turns.size()) return std::nullopt;
+  return net_.find_link(road, v.route.turns[v.next_turn]);
+}
+
+int MicroSim::road_vehicle_count(RoadId road) const {
+  int count = 0;
+  for (const Lane& lane : roads_[road.index()].lanes) {
+    count += static_cast<int>(lane.vehicles.size());
+  }
+  return count;
+}
+
+int MicroSim::lane_queued_count(const Lane& lane, double threshold_mps) const {
+  int count = 0;
+  for (VehicleId vid : lane.vehicles) {
+    if (vehicles_[vid.index()].speed < threshold_mps) ++count;
+  }
+  return count;
+}
+
+int MicroSim::link_queued_count(LinkId link, double threshold_mps) const {
+  const LinkRt& lrt = links_[link.index()];
+  const Lane& lane =
+      roads_[lrt.from_road.index()].lanes[static_cast<std::size_t>(lrt.lane_index)];
+  if (lane.link) return lane_queued_count(lane, threshold_mps);
+  // Mixed lane: the movement's queue is the slow vehicles headed through it.
+  int count = 0;
+  for (VehicleId vid : lane.vehicles) {
+    const Veh& v = vehicles_[vid.index()];
+    if (v.speed < threshold_mps && movement_of(v, lrt.from_road) == link) ++count;
+  }
+  return count;
+}
+
+int MicroSim::road_queued_count(RoadId road, double threshold_mps) const {
+  int count = 0;
+  for (const Lane& lane : roads_[road.index()].lanes) {
+    count += lane_queued_count(lane, threshold_mps);
+  }
+  return count;
+}
+
+bool MicroSim::entry_clear(const RoadRt& rt, int lane_index) const {
+  const Lane& lane = rt.lanes[static_cast<std::size_t>(lane_index)];
+  if (lane.vehicles.empty()) return true;
+  const Veh& rear = vehicles_[lane.vehicles.back().index()];
+  // The new vehicle's front bumper enters at pos 0; the rear vehicle's back
+  // bumper must leave room for it plus the standstill gap.
+  return rear.pos - config_.vehicle.length_m >= config_.vehicle.min_gap_m + 0.5;
+}
+
+core::IntersectionObservation MicroSim::observe(const net::Intersection& node) {
+  core::IntersectionObservation obs;
+  obs.time = now_;
+  obs.links.reserve(node.links.size());
+  for (LinkId lid : node.links) {
+    const net::Link& link = net_.link(lid);
+    core::LinkState state;
+    // Queue readings pass through the detector model; occupancy and
+    // capacities are physical state, never perturbed.
+    state.queue = core::measure_queue(
+        link_queued_count(lid, config_.approach_queue_threshold_mps), config_.sensor, rng_);
+    state.upstream_total = core::measure_queue(
+        road_queued_count(link.from_road, config_.approach_queue_threshold_mps),
+        config_.sensor, rng_);
+    state.upstream_capacity = net_.road(link.from_road).capacity;
+    state.downstream_queue = core::measure_queue(
+        road_queued_count(link.to_road, config_.congestion_queue_threshold_mps),
+        config_.sensor, rng_);
+    state.downstream_total = roads_[link.to_road.index()].occupancy;
+    state.downstream_capacity = net_.road(link.to_road).capacity;
+    state.service_rate = link.service_rate;
+    obs.links.push_back(state);
+  }
+  return obs;
+}
+
+void MicroSim::control_step() {
+  for (const net::Intersection& node : net_.intersections()) {
+    const net::PhaseIndex phase = controllers_[node.id.index()]->decide(observe(node));
+    if (phase < 0 || phase >= static_cast<int>(node.phases.size())) {
+      throw std::logic_error("controller returned an out-of-range phase");
+    }
+    displayed_[node.id.index()] = phase;
+    result_.phase_traces[node.id.index()].record(now_, phase);
+    for (LinkId lid : node.links) links_[lid.index()].green = false;
+    for (LinkId lid : node.phases[static_cast<std::size_t>(phase)].links) {
+      links_[lid.index()].green = true;
+    }
+  }
+}
+
+void MicroSim::admit_spawns() {
+  for (const traffic::SpawnRequest& req : demand_.poll(now_, now_ + config_.dt_s)) {
+    VehicleId vid(static_cast<std::uint32_t>(vehicles_.size()));
+    Veh v;
+    v.route = req.route;
+    v.loc = Loc::Outside;
+    v.road = req.entry;
+    vehicles_.push_back(std::move(v));
+    result_.metrics.generated += 1;
+    roads_[req.entry.index()].buffer.push_back(vid);
+  }
+  for (RoadId entry : net_.entry_roads()) {
+    RoadRt& rt = roads_[entry.index()];
+    const int capacity = net_.road(entry).capacity;
+    // Per-lane FIFO admission: dedicated turning lanes run the full road
+    // length, so a vehicle waiting for a full lane does not physically block
+    // vehicles headed for the other lanes. Order is preserved within each
+    // lane; a lane that rejects its first candidate admits nobody this step.
+    std::array<bool, 4> lane_blocked{};
+    for (auto it = rt.buffer.begin(); it != rt.buffer.end() && rt.occupancy < capacity;) {
+      const VehicleId vid = *it;
+      Veh& v = vehicles_[vid.index()];
+      const int lane = lane_index_for_turn(entry, v.route.turns.front());
+      if (lane_blocked[static_cast<std::size_t>(lane)] || !entry_clear(rt, lane)) {
+        lane_blocked[static_cast<std::size_t>(lane)] = true;
+        ++it;
+        continue;
+      }
+      it = rt.buffer.erase(it);
+      rt.occupancy += 1;
+      v.loc = Loc::Lane;
+      v.lane = lane;
+      v.pos = 0.0;
+      v.speed = std::min(config_.insertion_speed_mps, net_.road(entry).speed_limit_mps);
+      v.entry_time = now_;
+      rt.lanes[static_cast<std::size_t>(lane)].vehicles.push_back(vid);
+      result_.metrics.entered += 1;
+      // The lane just received a vehicle at its entry point; nobody else fits
+      // behind it this step.
+      lane_blocked[static_cast<std::size_t>(lane)] = true;
+    }
+    result_.metrics.entry_blocked_time_s +=
+        static_cast<double>(rt.buffer.size()) * config_.dt_s;
+  }
+}
+
+void MicroSim::release_junction_vehicles() {
+  for (std::size_t i = 0; i < in_junction_.size();) {
+    const VehicleId vid = in_junction_[i];
+    Veh& v = vehicles_[vid.index()];
+    RoadRt& target = roads_[v.road.index()];
+    if (v.junction_exit <= now_ && entry_clear(target, v.lane)) {
+      v.loc = Loc::Lane;
+      v.pos = 0.0;
+      v.speed = std::min(config_.insertion_speed_mps, net_.road(v.road).speed_limit_mps);
+      target.lanes[static_cast<std::size_t>(v.lane)].vehicles.push_back(vid);
+      in_junction_[i] = in_junction_.back();
+      in_junction_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+bool MicroSim::try_grant(VehicleId vid, LinkId link) {
+  LinkRt& lrt = links_[link.index()];
+  if (!lrt.green || now_ < lrt.next_grant) return false;
+  Veh& v = vehicles_[vid.index()];
+  const net::Link& l = net_.link(link);
+  const RoadId to_road = l.to_road;
+  RoadRt& target = roads_[to_road.index()];
+  if (target.occupancy >= net_.road(to_road).capacity) return false;
+
+  int target_lane = 0;
+  const std::size_t next = v.next_turn + 1;
+  if (!net_.road(to_road).is_exit()) {
+    if (next >= v.route.turns.size()) {
+      throw std::logic_error("route exhausted before reaching an exit road");
+    }
+    target_lane = lane_index_for_turn(to_road, v.route.turns[next]);
+  }
+  if (!entry_clear(target, target_lane)) return false;
+
+  // Grant: reserve downstream space, consume the service-rate headway, and
+  // stage the vehicle's post-crossing location.
+  const double physical_rate = config_.saturation_flow_vps > 0.0
+                                   ? std::min(l.service_rate, config_.saturation_flow_vps)
+                                   : l.service_rate;
+  lrt.next_grant = now_ + 1.0 / physical_rate;
+  target.occupancy += 1;
+  v.road = to_road;
+  v.lane = target_lane;
+  v.next_turn = next;
+  return true;
+}
+
+void MicroSim::update_lane(const net::Road& road, Lane& lane) {
+  // Junction service first: a green movement serves the head vehicle at most
+  // once per 1/mu seconds, provided it has reached the service zone at the
+  // stop line. Service moves the vehicle into the junction box immediately;
+  // everything behind it keeps following normally. On a mixed lane the head
+  // vehicle's own route decides the movement — if that movement is red, the
+  // whole lane waits behind it (head-of-line blocking).
+  if (!lane.vehicles.empty() && !road.is_exit()) {
+    const VehicleId vid = lane.vehicles.front();
+    Veh& v = vehicles_[vid.index()];
+    const std::optional<LinkId> head_link =
+        lane.link ? lane.link : movement_of(v, road.id);
+    if (head_link && v.pos >= road.length_m - config_.service_zone_m &&
+        try_grant(vid, *head_link)) {
+      v.loc = Loc::Junction;
+      v.junction_exit = now_ + config_.junction_crossing_s;
+      v.speed = config_.insertion_speed_mps;
+      roads_[road.id.index()].occupancy -= 1;
+      in_junction_.push_back(vid);
+      lane.vehicles.erase(lane.vehicles.begin());
+    }
+  }
+
+  bool head_completed = false;
+  for (std::size_t i = 0; i < lane.vehicles.size(); ++i) {
+    const VehicleId vid = lane.vehicles[i];
+    Veh& v = vehicles_[vid.index()];
+    double gap;
+    double leader_speed;
+
+    if (i > 0) {
+      const Veh& leader = vehicles_[lane.vehicles[i - 1].index()];
+      gap = leader.pos - config_.vehicle.length_m - v.pos - config_.vehicle.min_gap_m;
+      leader_speed = leader.speed;
+    } else if (road.is_exit()) {
+      gap = kFreeGap;  // drives off the far end
+      leader_speed = 0.0;
+    } else {
+      // Approach the stop line as a standing obstacle; service happens via
+      // the grant above once within the zone.
+      gap = road.length_m - v.pos;
+      leader_speed = 0.0;
+    }
+
+    const double dawdle = config_.vehicle.sigma > 0.0 ? rng_.uniform01() : 0.0;
+    v.speed = next_speed(v.speed, gap, leader_speed, road.speed_limit_mps, config_.vehicle,
+                         config_.dt_s, dawdle);
+    v.pos += v.speed * config_.dt_s;
+
+    if (i > 0) {
+      // Numerical guard: never overlap the leader.
+      const Veh& leader = vehicles_[lane.vehicles[i - 1].index()];
+      const double limit = leader.pos - config_.vehicle.length_m - 0.1;
+      if (v.pos > limit) {
+        v.pos = std::max(0.0, limit);
+        v.speed = std::min(v.speed, leader.speed);
+      }
+    } else if (!road.is_exit() && v.pos > road.length_m - 0.2) {
+      v.pos = road.length_m - 0.2;  // hold at the stop line
+      v.speed = 0.0;
+    }
+
+    if (road.is_exit() && i == 0 && v.pos >= road.length_m) {
+      complete_vehicle(vid);
+      head_completed = true;
+    }
+  }
+  if (head_completed) {
+    lane.vehicles.erase(lane.vehicles.begin());
+  }
+}
+
+void MicroSim::update_roads() {
+  for (const net::Road& road : net_.roads()) {
+    for (Lane& lane : roads_[road.id.index()].lanes) {
+      update_lane(road, lane);
+    }
+  }
+}
+
+void MicroSim::complete_vehicle(VehicleId vid) {
+  Veh& v = vehicles_[vid.index()];
+  v.loc = Loc::Done;
+  roads_[v.road.index()].occupancy -= 1;
+  result_.metrics.completed += 1;
+  result_.metrics.queuing_time_s.add(v.waiting_time);
+  result_.metrics.travel_time_s.add(now_ - v.entry_time);
+}
+
+void MicroSim::sample_watches() {
+  for (const Watch& w : watches_) {
+    // Fig. 5 plots queue lengths, i.e. what the approach detectors report.
+    result_.road_series[w.series_index].push(
+        now_, static_cast<double>(
+                  road_queued_count(w.road, config_.approach_queue_threshold_mps)));
+  }
+  result_.in_network_series.push(now_, static_cast<double>(vehicles_in_network()));
+}
+
+void MicroSim::step() {
+  if (now_ >= next_control_) {
+    control_step();
+    next_control_ += config_.control_interval_s;
+  }
+  if (now_ >= next_sample_) {
+    sample_watches();
+    next_sample_ += config_.sample_interval_s;
+  }
+  admit_spawns();
+  release_junction_vehicles();
+  update_roads();
+  for (Veh& v : vehicles_) {
+    if (v.loc == Loc::Lane && v.speed < config_.waiting_speed_threshold_mps) {
+      v.waiting_time += config_.dt_s;
+    }
+  }
+  now_ += config_.dt_s;
+}
+
+stats::RunResult& MicroSim::run_until(double until_s) {
+  if (finished_) throw std::logic_error("MicroSim::run_until after finish");
+  while (now_ < until_s) step();
+  return result_;
+}
+
+stats::RunResult MicroSim::finish(double duration_s) {
+  run_until(duration_s);
+  finished_ = true;
+  for (Veh& v : vehicles_) {
+    if (v.loc != Loc::Lane && v.loc != Loc::Junction) continue;
+    result_.metrics.in_network_at_end += 1;
+    result_.metrics.queuing_time_s.add(v.waiting_time);
+    result_.metrics.travel_time_s.add(now_ - v.entry_time);
+    v.loc = Loc::Done;
+  }
+  for (stats::PhaseTrace& trace : result_.phase_traces) trace.finish(now_);
+  result_.duration_s = now_;
+  return std::move(result_);
+}
+
+}  // namespace abp::microsim

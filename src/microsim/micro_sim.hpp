@@ -1,0 +1,170 @@
+// Microscopic traffic simulator: the repository's SUMO substitute.
+//
+// Space-continuous, time-discrete simulation of individual vehicles:
+//   * by default every non-exit road carries one *dedicated turning lane* per
+//     feasible movement at its downstream junction (the paper's lane
+//     assumption, which rules out head-of-line blocking); vehicles pick their
+//     lane on entry from the next turn of their route and never change lanes.
+//     MicroSimConfig::dedicated_turn_lanes = false switches to a single mixed
+//     lane per road, where HOL blocking becomes possible (Section IV Q4);
+//   * longitudinal dynamics follow the Krauss car-following model
+//     (src/microsim/krauss.hpp) against the lane leader or the stop line;
+//   * a green movement serves the head vehicle inside its stop-line service
+//     zone at most at the saturation rate (one grant per 1/mu seconds by
+//     default); a served vehicle traverses the junction box for a fixed
+//     crossing time and is released onto the matching lane of the downstream
+//     road, whose capacity W it reserves at grant time so the road can never
+//     exceed W;
+//   * the transition (amber) phase grants nothing; vehicles already in the
+//     box finish crossing — precisely the role of the paper's c0;
+//   * demand arrives via traffic::DemandGenerator; vehicles whose entry road
+//     is full or whose entry point is blocked wait outside the network.
+//
+// Controllers are invoked every control interval (the paper's mini-slot) with
+// the same observation structure the queueing simulator produces. Queue
+// readings come from speed-threshold detectors (optionally degraded by
+// MicroSimConfig::sensor); the capacity test of Eq. (8) uses physical
+// occupancy. See DESIGN.md §5 for the sensing rationale.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/controller.hpp"
+#include "src/microsim/params.hpp"
+#include "src/net/network.hpp"
+#include "src/stats/run_result.hpp"
+#include "src/traffic/demand.hpp"
+#include "src/util/rng.hpp"
+
+namespace abp::microsim {
+
+class MicroSim {
+ public:
+  // `network` and `demand` must outlive the simulator; `controllers` holds
+  // one controller per intersection, indexed by IntersectionId::index().
+  MicroSim(const net::Network& network, MicroSimConfig config,
+           std::vector<core::ControllerPtr> controllers, traffic::DemandGenerator& demand,
+           std::uint64_t seed);
+
+  // Registers a queue-length watch: samples the number of vehicles on the
+  // incoming road `road` (all dedicated lanes, the paper's q_i).
+  void watch_road(RoadId road, std::string series_name);
+
+  // Advances the simulation to `until_s`; may be called repeatedly.
+  stats::RunResult& run_until(double until_s);
+
+  // Runs to `duration_s`, closes per-vehicle records, returns the result.
+  stats::RunResult finish(double duration_s);
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  // --- Introspection hooks used by tests ---
+  // Vehicles on the dedicated lane feeding `link`.
+  [[nodiscard]] int lane_count(LinkId link) const;
+  // Vehicles on the road (all lanes) plus inbound junction reservations.
+  [[nodiscard]] int road_occupancy(RoadId road) const;
+  [[nodiscard]] net::PhaseIndex displayed_phase(IntersectionId node) const;
+  [[nodiscard]] int vehicles_in_network() const;
+  // Positions (road-start-relative) of vehicles on a lane, head first.
+  [[nodiscard]] std::vector<double> lane_positions(LinkId link) const;
+  // True when no two vehicles on any lane overlap (collision check).
+  [[nodiscard]] bool no_overlaps() const;
+
+ private:
+  enum class Loc { Outside, Lane, Junction, Done };
+
+  struct Veh {
+    traffic::Route route;
+    std::size_t next_turn = 0;
+    Loc loc = Loc::Outside;
+    RoadId road;      // current road (Loc::Lane) or target road (Loc::Junction)
+    int lane = 0;     // lane index on `road`
+    double pos = 0.0;  // front-bumper distance from road start
+    double speed = 0.0;
+    double junction_exit = 0.0;  // time the junction box releases the vehicle
+    double entry_time = 0.0;
+    double waiting_time = 0.0;
+  };
+
+  struct Lane {
+    // Movement this lane feeds; empty for the single lane of an exit road.
+    std::optional<LinkId> link;
+    // Vehicles ordered head (largest pos) first.
+    std::vector<VehicleId> vehicles;
+  };
+
+  struct RoadRt {
+    std::vector<Lane> lanes;
+    // Vehicles on lanes + junction-box reservations headed here.
+    int occupancy = 0;
+    // Spawns waiting outside the network for space, FIFO.
+    std::deque<VehicleId> buffer;
+  };
+
+  struct LinkRt {
+    RoadId from_road;
+    int lane_index = 0;
+    // Earliest time the next service grant may be issued (rate mu).
+    double next_grant = 0.0;
+    bool green = false;
+  };
+
+  struct Watch {
+    RoadId road;
+    std::size_t series_index;
+  };
+
+  void build_runtime();
+  void step();
+  void control_step();
+  void admit_spawns();
+  void release_junction_vehicles();
+  void update_roads();
+  void update_lane(const net::Road& road, Lane& lane);
+  // Grants a crossing to `vid` (head of a green lane) if rate, capacity and
+  // downstream insertion allow; returns true when granted.
+  bool try_grant(VehicleId vid, LinkId link);
+  void complete_vehicle(VehicleId vid);
+  void sample_watches();
+  [[nodiscard]] core::IntersectionObservation observe(const net::Intersection& node);
+  [[nodiscard]] int lane_index_for_turn(RoadId road, net::Turn turn) const;
+  [[nodiscard]] int road_vehicle_count(RoadId road) const;
+  // Queue-length detector: vehicles on the lane moving slower than the given
+  // speed threshold.
+  [[nodiscard]] int lane_queued_count(const Lane& lane, double threshold_mps) const;
+  // Queue detector for one movement: on a dedicated lane, its lane's slow
+  // vehicles; on a mixed lane, the slow vehicles routed through the movement.
+  [[nodiscard]] int link_queued_count(LinkId link, double threshold_mps) const;
+  // Sum of lane_queued_count over all lanes of the road (q_i of Eq. 1).
+  [[nodiscard]] int road_queued_count(RoadId road, double threshold_mps) const;
+  // The movement the vehicle will take at the end of `road`, if feasible.
+  [[nodiscard]] std::optional<LinkId> movement_of(const Veh& v, RoadId road) const;
+  // True when a vehicle can be released at the start of the lane.
+  [[nodiscard]] bool entry_clear(const RoadRt& rt, int lane_index) const;
+
+  const net::Network& net_;
+  MicroSimConfig config_;
+  std::vector<core::ControllerPtr> controllers_;
+  traffic::DemandGenerator& demand_;
+  Rng rng_;
+
+  double now_ = 0.0;
+  double next_control_ = 0.0;
+  double next_sample_ = 0.0;
+
+  std::vector<Veh> vehicles_;
+  std::vector<RoadRt> roads_;
+  std::vector<LinkRt> links_;
+  std::vector<net::PhaseIndex> displayed_;
+  // Vehicles currently inside a junction box, unordered.
+  std::vector<VehicleId> in_junction_;
+
+  std::vector<Watch> watches_;
+  stats::RunResult result_;
+  bool finished_ = false;
+};
+
+}  // namespace abp::microsim

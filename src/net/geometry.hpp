@@ -1,0 +1,122 @@
+// Junction geometry vocabulary: compass sides, turn directions, handedness.
+//
+// The paper's Fig. 1 intersection pairs straight-ahead movements with *left*
+// turns in one control phase (c1 activates L_1^6 "turn left" together with
+// L_1^7 straight) and gives *right* turns their own protected phase (c2).
+// That is a left-hand-traffic (UK) junction: the left turn is the kerb-hugging
+// "easy" turn that does not cross opposing traffic, while the right turn cuts
+// across it. We keep handedness configurable; the reproduction uses LeftHand.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace abp::net {
+
+// The compass side of a junction on which an approach sits. A vehicle
+// arriving from the North side is heading South.
+enum class Side : int { North = 0, East = 1, South = 2, West = 3 };
+
+inline constexpr std::array<Side, 4> kAllSides = {Side::North, Side::East, Side::South,
+                                                  Side::West};
+
+// Geometric turn relative to the vehicle's heading.
+enum class Turn : int { Left = 0, Straight = 1, Right = 2 };
+
+inline constexpr std::array<Turn, 3> kAllTurns = {Turn::Left, Turn::Straight, Turn::Right};
+
+// Which side of the road vehicles drive on. Determines which turn is the
+// "easy" (non-crossing) turn and which one crosses opposing traffic.
+enum class Handedness { LeftHand, RightHand };
+
+// Side directly across the junction.
+[[nodiscard]] constexpr Side opposite(Side s) noexcept {
+  return static_cast<Side>((static_cast<int>(s) + 2) % 4);
+}
+
+// Exit side for a vehicle that entered from `from` and makes `turn`.
+// Heading of a vehicle from the North side is South; its left is East.
+[[nodiscard]] constexpr Side exit_side(Side from, Turn turn) noexcept {
+  switch (turn) {
+    case Turn::Left:
+      return static_cast<Side>((static_cast<int>(from) + 1) % 4);
+    case Turn::Straight:
+      return opposite(from);
+    case Turn::Right:
+      return static_cast<Side>((static_cast<int>(from) + 3) % 4);
+  }
+  return opposite(from);
+}
+
+// Inverse of exit_side: the turn that takes a vehicle from side `from` out at
+// side `to`. `from == to` (U-turn) is not a feasible movement in this model;
+// callers must not ask for it.
+[[nodiscard]] constexpr Turn turn_between(Side from, Side to) noexcept {
+  const int delta = (static_cast<int>(to) - static_cast<int>(from) + 4) % 4;
+  switch (delta) {
+    case 1:
+      return Turn::Left;
+    case 2:
+      return Turn::Straight;
+    default:
+      return Turn::Right;
+  }
+}
+
+// The kerb-hugging turn that does not cross opposing traffic.
+[[nodiscard]] constexpr Turn easy_turn(Handedness h) noexcept {
+  return h == Handedness::LeftHand ? Turn::Left : Turn::Right;
+}
+
+// The turn that crosses opposing traffic and needs a protected phase.
+[[nodiscard]] constexpr Turn crossing_turn(Handedness h) noexcept {
+  return h == Handedness::LeftHand ? Turn::Right : Turn::Left;
+}
+
+[[nodiscard]] constexpr std::string_view side_name(Side s) noexcept {
+  switch (s) {
+    case Side::North:
+      return "N";
+    case Side::East:
+      return "E";
+    case Side::South:
+      return "S";
+    case Side::West:
+      return "W";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view turn_name(Turn t) noexcept {
+  switch (t) {
+    case Turn::Left:
+      return "left";
+    case Turn::Straight:
+      return "straight";
+    case Turn::Right:
+      return "right";
+  }
+  return "?";
+}
+
+// True when two movements through the same junction can be signalled green
+// simultaneously without their paths crossing. Movements from the same
+// approach never conflict (dedicated turning lanes diverge). Movements from
+// opposing approaches are compatible when both stay out of the crossing
+// conflict area: opposing straights, opposing easy turns, straight+easy in
+// any combination, and the pair of opposing crossing turns (dual protected
+// arrows, which pass one another inside the junction). Movements from
+// perpendicular approaches always conflict.
+[[nodiscard]] constexpr bool movements_compatible(Side from_a, Turn turn_a, Side from_b,
+                                                  Turn turn_b, Handedness h) noexcept {
+  if (from_a == from_b) return true;
+  if (from_b != opposite(from_a)) return false;  // perpendicular approaches
+  const Turn crossing = crossing_turn(h);
+  const bool a_crosses = (turn_a == crossing);
+  const bool b_crosses = (turn_b == crossing);
+  if (a_crosses && b_crosses) return true;  // dual protected arrows
+  if (!a_crosses && !b_crosses) return true;  // straight / easy combinations
+  return false;  // crossing turn against opposing through traffic
+}
+
+}  // namespace abp::net

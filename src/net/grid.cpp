@@ -1,0 +1,96 @@
+#include "src/net/grid.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace abp::net {
+namespace {
+
+Road make_road(IntersectionId from, Side departure, IntersectionId to, Side arrival,
+               const GridConfig& cfg, double length, std::string name) {
+  Road r;
+  r.from = from;
+  r.to = to;
+  r.departure_side = departure;
+  r.arrival_side = arrival;
+  r.length_m = length;
+  r.speed_limit_mps = cfg.speed_limit_mps;
+  r.capacity = cfg.capacity;
+  r.name = std::move(name);
+  return r;
+}
+
+}  // namespace
+
+std::string grid_junction_name(int row, int col) {
+  return "J(" + std::to_string(row) + "," + std::to_string(col) + ")";
+}
+
+Network build_grid(const GridConfig& cfg) {
+  if (cfg.rows <= 0 || cfg.cols <= 0) {
+    throw std::invalid_argument("grid dimensions must be positive");
+  }
+  Network net;
+
+  std::vector<std::vector<IntersectionId>> node(static_cast<std::size_t>(cfg.rows));
+  for (int r = 0; r < cfg.rows; ++r) {
+    node[static_cast<std::size_t>(r)].resize(static_cast<std::size_t>(cfg.cols));
+    for (int c = 0; c < cfg.cols; ++c) {
+      node[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+          net.add_intersection(grid_junction_name(r, c), r, c);
+    }
+  }
+  auto at = [&](int r, int c) { return node[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)]; };
+
+  // Internal roads: one directed road each way between adjacent junctions.
+  for (int r = 0; r < cfg.rows; ++r) {
+    for (int c = 0; c < cfg.cols; ++c) {
+      if (c + 1 < cfg.cols) {
+        // Eastward road leaves (r,c) on its East side and arrives at (r,c+1)
+        // on its West side; and the reverse.
+        net.add_road(make_road(at(r, c), Side::East, at(r, c + 1), Side::West, cfg,
+                               cfg.road_length_m,
+                               grid_junction_name(r, c) + "->" + grid_junction_name(r, c + 1)));
+        net.add_road(make_road(at(r, c + 1), Side::West, at(r, c), Side::East, cfg,
+                               cfg.road_length_m,
+                               grid_junction_name(r, c + 1) + "->" + grid_junction_name(r, c)));
+      }
+      if (r + 1 < cfg.rows) {
+        // Southward road leaves (r,c) on its South side, arrives at (r+1,c)
+        // on its North side; and the reverse.
+        net.add_road(make_road(at(r, c), Side::South, at(r + 1, c), Side::North, cfg,
+                               cfg.road_length_m,
+                               grid_junction_name(r, c) + "->" + grid_junction_name(r + 1, c)));
+        net.add_road(make_road(at(r + 1, c), Side::North, at(r, c), Side::South, cfg,
+                               cfg.road_length_m,
+                               grid_junction_name(r + 1, c) + "->" + grid_junction_name(r, c)));
+      }
+    }
+  }
+
+  // Boundary entry/exit roads. Traffic "entering from the North" arrives on
+  // the North side of a top-row junction.
+  auto add_boundary = [&](IntersectionId junction, Side side, const std::string& where) {
+    net.add_road(make_road(IntersectionId{}, Side::North, junction, side, cfg,
+                           cfg.boundary_length_m,
+                           "entry-" + std::string(side_name(side)) + where));
+    net.add_road(make_road(junction, side, IntersectionId{}, Side::North, cfg,
+                           cfg.boundary_length_m,
+                           "exit-" + std::string(side_name(side)) + where));
+  };
+  for (int c = 0; c < cfg.cols; ++c) {
+    add_boundary(at(0, c), Side::North, "(0," + std::to_string(c) + ")");
+    add_boundary(at(cfg.rows - 1, c), Side::South,
+                 "(" + std::to_string(cfg.rows - 1) + "," + std::to_string(c) + ")");
+  }
+  for (int r = 0; r < cfg.rows; ++r) {
+    add_boundary(at(r, cfg.cols - 1), Side::East,
+                 "(" + std::to_string(r) + "," + std::to_string(cfg.cols - 1) + ")");
+    add_boundary(at(r, 0), Side::West, "(" + std::to_string(r) + ",0)");
+  }
+
+  net.finalize(cfg.handedness, cfg.service_rate);
+  return net;
+}
+
+}  // namespace abp::net

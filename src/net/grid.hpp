@@ -1,0 +1,39 @@
+// Builder for the paper's evaluation topology: an M x N grid of four-approach
+// signalized intersections with entry/exit roads on every boundary approach.
+//
+// The paper evaluates a 3x3 grid (9 junctions, 12 entry roads, 12 exit roads,
+// 24 internal directed roads). Every junction has the Fig.-1 structure: four
+// incoming roads, four outgoing roads, twelve feasible movements, four control
+// phases plus the transition phase.
+#pragma once
+
+#include <string>
+
+#include "src/net/network.hpp"
+
+namespace abp::net {
+
+struct GridConfig {
+  int rows = 3;
+  int cols = 3;
+  // Length of internal roads between adjacent junctions.
+  double road_length_m = 220.0;
+  // Length of boundary entry/exit roads.
+  double boundary_length_m = 220.0;
+  double speed_limit_mps = 13.9;  // 50 km/h
+  // Road capacity W_i (paper: 120 vehicles).
+  int capacity = 120;
+  // Saturation flow mu per movement (paper: 1 veh/s).
+  double service_rate = 1.0;
+  // The paper's junction pairs straight with left turns => left-hand traffic.
+  Handedness handedness = Handedness::LeftHand;
+};
+
+// Builds and finalizes the grid network. Throws std::invalid_argument on a
+// non-positive grid dimension.
+[[nodiscard]] Network build_grid(const GridConfig& config);
+
+// Human-readable junction name used by build_grid, e.g. "J(0,2)".
+[[nodiscard]] std::string grid_junction_name(int row, int col);
+
+}  // namespace abp::net

@@ -1,0 +1,47 @@
+// A signalized intersection: four approaches, feasible movements, phase table.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/net/geometry.hpp"
+#include "src/net/phase.hpp"
+#include "src/util/ids.hpp"
+
+namespace abp::net {
+
+struct Intersection {
+  IntersectionId id;
+
+  // Incoming/outgoing road per compass side; invalid id when the junction has
+  // no approach on that side (all junctions in the paper's grid have four).
+  std::array<RoadId, 4> incoming{};
+  std::array<RoadId, 4> outgoing{};
+
+  // Movements owned by this junction, in a stable order that observations and
+  // controller plans share.
+  std::vector<LinkId> links;
+
+  // phases[0] is the transition phase c0; phases[1..] are the control phases.
+  std::vector<Phase> phases;
+
+  std::string name;
+
+  // Grid coordinates when built by GridBuilder (row 0 = northmost); -1 otherwise.
+  int grid_row = -1;
+  int grid_col = -1;
+
+  [[nodiscard]] RoadId incoming_on(Side s) const noexcept {
+    return incoming[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] RoadId outgoing_on(Side s) const noexcept {
+    return outgoing[static_cast<std::size_t>(s)];
+  }
+  // Number of control phases (excluding the transition phase).
+  [[nodiscard]] int num_control_phases() const noexcept {
+    return static_cast<int>(phases.size()) - 1;
+  }
+};
+
+}  // namespace abp::net

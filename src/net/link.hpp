@@ -1,0 +1,26 @@
+// A feasible movement L_i^{i'} from an incoming to an outgoing road.
+#pragma once
+
+#include "src/net/geometry.hpp"
+#include "src/util/ids.hpp"
+
+namespace abp::net {
+
+struct Link {
+  LinkId id;
+  // Junction that owns (signals) this movement.
+  IntersectionId owner;
+  // Incoming road N_i whose dedicated turning lane feeds this movement.
+  RoadId from_road;
+  // Outgoing road N_{i'} the movement discharges into.
+  RoadId to_road;
+  // Approach side at the owning junction.
+  Side from_side = Side::North;
+  // Geometric turn of the movement.
+  Turn turn = Turn::Straight;
+  // Full service rate mu_i^{i'} in vehicles per second: the saturation flow of
+  // the movement while its signal is green (paper: mu = 1 for every link).
+  double service_rate = 1.0;
+};
+
+}  // namespace abp::net

@@ -1,0 +1,173 @@
+#include "src/net/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abp::net {
+
+IntersectionId Network::add_intersection(std::string name, int grid_row, int grid_col) {
+  if (finalized_) throw std::logic_error("Network::add_intersection after finalize");
+  Intersection node;
+  node.id = IntersectionId(static_cast<std::uint32_t>(intersections_.size()));
+  node.name = std::move(name);
+  node.grid_row = grid_row;
+  node.grid_col = grid_col;
+  node.incoming.fill(RoadId{});
+  node.outgoing.fill(RoadId{});
+  intersections_.push_back(std::move(node));
+  return intersections_.back().id;
+}
+
+RoadId Network::add_road(Road road) {
+  if (finalized_) throw std::logic_error("Network::add_road after finalize");
+  if (road.length_m <= 0.0) throw std::invalid_argument("road length must be positive");
+  if (road.capacity <= 0) throw std::invalid_argument("road capacity must be positive");
+  if (road.speed_limit_mps <= 0.0) throw std::invalid_argument("speed limit must be positive");
+  if (!road.from.valid() && !road.to.valid()) {
+    throw std::invalid_argument("road must touch at least one junction");
+  }
+  road.id = RoadId(static_cast<std::uint32_t>(roads_.size()));
+  roads_.push_back(std::move(road));
+  return roads_.back().id;
+}
+
+void Network::finalize(Handedness handedness, double default_service_rate) {
+  if (finalized_) throw std::logic_error("Network::finalize called twice");
+  if (default_service_rate <= 0.0) {
+    throw std::invalid_argument("service rate must be positive");
+  }
+  handedness_ = handedness;
+
+  // Wire approach arrays from the road endpoints.
+  for (const Road& r : roads_) {
+    if (r.to.valid()) {
+      Intersection& node = intersections_.at(r.to.index());
+      RoadId& slot = node.incoming[static_cast<std::size_t>(r.arrival_side)];
+      if (slot.valid()) {
+        throw std::logic_error("two incoming roads on the same side of " + node.name);
+      }
+      slot = r.id;
+    }
+    if (r.from.valid()) {
+      Intersection& node = intersections_.at(r.from.index());
+      RoadId& slot = node.outgoing[static_cast<std::size_t>(r.departure_side)];
+      if (slot.valid()) {
+        throw std::logic_error("two outgoing roads on the same side of " + node.name);
+      }
+      slot = r.id;
+    }
+  }
+
+  for (Intersection& node : intersections_) {
+    build_links_for(node, default_service_rate);
+    build_standard_phases(node);
+  }
+  finalized_ = true;
+}
+
+void Network::build_links_for(Intersection& node, double default_service_rate) {
+  for (Side from : kAllSides) {
+    const RoadId in = node.incoming_on(from);
+    if (!in.valid()) continue;
+    for (Turn turn : kAllTurns) {
+      const Side out_side = exit_side(from, turn);
+      const RoadId out = node.outgoing_on(out_side);
+      if (!out.valid()) continue;
+      Link link;
+      link.id = LinkId(static_cast<std::uint32_t>(links_.size()));
+      link.owner = node.id;
+      link.from_road = in;
+      link.to_road = out;
+      link.from_side = from;
+      link.turn = turn;
+      link.service_rate = default_service_rate;
+      links_.push_back(link);
+      node.links.push_back(link.id);
+    }
+  }
+}
+
+void Network::build_standard_phases(Intersection& node) const {
+  // Fig. 1 phase table, generalized to junctions that may miss approaches:
+  //   c1: North/South axis, straight + easy turn
+  //   c2: North/South axis, crossing turn (protected)
+  //   c3: East/West axis, straight + easy turn
+  //   c4: East/West axis, crossing turn (protected)
+  node.phases.clear();
+  Phase transition;
+  transition.name = "c0-transition";
+  node.phases.push_back(std::move(transition));
+
+  const Turn crossing = crossing_turn(handedness_);
+  struct Group {
+    std::array<Side, 2> sides;
+    bool protected_turns;
+    const char* name;
+  };
+  const Group groups[] = {
+      {{Side::North, Side::South}, false, "c-NS-through"},
+      {{Side::North, Side::South}, true, "c-NS-protected"},
+      {{Side::East, Side::West}, false, "c-EW-through"},
+      {{Side::East, Side::West}, true, "c-EW-protected"},
+  };
+  for (const Group& g : groups) {
+    Phase phase;
+    phase.name = g.name;
+    for (LinkId lid : node.links) {
+      const Link& l = links_.at(lid.index());
+      const bool on_axis = (l.from_side == g.sides[0] || l.from_side == g.sides[1]);
+      if (!on_axis) continue;
+      const bool is_crossing = (l.turn == crossing);
+      if (is_crossing == g.protected_turns) phase.links.push_back(lid);
+    }
+    if (!phase.links.empty()) node.phases.push_back(std::move(phase));
+  }
+}
+
+std::vector<RoadId> Network::entry_roads() const {
+  std::vector<RoadId> result;
+  for (const Road& r : roads_) {
+    if (r.is_entry()) result.push_back(r.id);
+  }
+  return result;
+}
+
+std::vector<RoadId> Network::entry_roads_on(Side s) const {
+  std::vector<RoadId> result;
+  for (const Road& r : roads_) {
+    if (r.is_entry() && r.arrival_side == s) result.push_back(r.id);
+  }
+  return result;
+}
+
+std::vector<RoadId> Network::exit_roads() const {
+  std::vector<RoadId> result;
+  for (const Road& r : roads_) {
+    if (r.is_exit()) result.push_back(r.id);
+  }
+  return result;
+}
+
+std::optional<LinkId> Network::find_link(RoadId from_road, Turn turn) const {
+  for (const Link& l : links_) {
+    if (l.from_road == from_road && l.turn == turn) return l.id;
+  }
+  return std::nullopt;
+}
+
+std::vector<LinkId> Network::links_from(RoadId from_road) const {
+  std::vector<LinkId> result;
+  for (const Link& l : links_) {
+    if (l.from_road == from_road) result.push_back(l.id);
+  }
+  return result;
+}
+
+std::optional<IntersectionId> Network::at_grid(int row, int col) const {
+  for (const Intersection& node : intersections_) {
+    if (node.grid_row == row && node.grid_col == col) return node.id;
+  }
+  return std::nullopt;
+}
+
+}  // namespace abp::net

@@ -1,0 +1,32 @@
+// Control phases: compatible sets of movements signalled green together.
+//
+// Phase index 0 is reserved for the transition phase c0 (amber, no links
+// active); indices 1..P are the control phases c1..cP. Controllers return a
+// PhaseIndex from every decision; the simulators translate it into signal
+// states for the junction's links.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/util/ids.hpp"
+
+namespace abp::net {
+
+// Index into Intersection::phases. Plain int by design: it is bounded, dense
+// and used in arithmetic (argmax loops); 0 always denotes the transition
+// phase.
+using PhaseIndex = int;
+
+// The transition phase c0 = {} during which the amber light clears the junction.
+inline constexpr PhaseIndex kTransitionPhase = 0;
+
+struct Phase {
+  // Links activated while this phase is green. Empty for c0.
+  std::vector<LinkId> links;
+  std::string name;
+
+  [[nodiscard]] bool is_transition() const noexcept { return links.empty(); }
+};
+
+}  // namespace abp::net

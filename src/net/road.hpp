@@ -1,0 +1,45 @@
+// A directed road segment: a node N_i of the paper's queueing graph.
+#pragma once
+
+#include <string>
+
+#include "src/net/geometry.hpp"
+#include "src/util/ids.hpp"
+
+namespace abp::net {
+
+struct Road {
+  RoadId id;
+
+  // Junction this road leaves from; invalid for network entry roads, where
+  // vehicles are injected by the demand process.
+  IntersectionId from;
+  // Junction this road arrives at; invalid for network exit roads, where
+  // vehicles leave the network at the far end.
+  IntersectionId to;
+
+  // Side of `from` on which this road departs (meaningful only if from.valid()).
+  Side departure_side = Side::North;
+  // Side of `to` on which this road arrives (meaningful only if to.valid()).
+  Side arrival_side = Side::North;
+
+  // Physical length of the segment.
+  double length_m = 200.0;
+  // Free-flow speed limit.
+  double speed_limit_mps = 13.9;  // 50 km/h
+  // Capacity W_i: maximum number of vehicles the road can accommodate across
+  // all its dedicated turning lanes (paper: W_i = 120).
+  int capacity = 120;
+
+  std::string name;
+
+  [[nodiscard]] bool is_entry() const noexcept { return !from.valid(); }
+  [[nodiscard]] bool is_exit() const noexcept { return !to.valid(); }
+  // Free-flow traversal time, used as the transfer delay in the queueing
+  // simulator and for sanity checks in the microscopic one.
+  [[nodiscard]] double free_flow_time_s() const noexcept {
+    return speed_limit_mps > 0.0 ? length_m / speed_limit_mps : 0.0;
+  }
+};
+
+}  // namespace abp::net

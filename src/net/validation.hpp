@@ -1,0 +1,23 @@
+// Structural validation of a finalized network.
+//
+// Simulators and controllers assume a consistent network: approach wiring
+// matches road endpoints, every movement's geometry is coherent, phases only
+// combine compatible movements, and every movement is reachable through some
+// phase. validate() checks all of it and returns human-readable findings, so
+// hand-built networks fail loudly before a simulation silently misbehaves.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/net/network.hpp"
+
+namespace abp::net {
+
+// Returns a list of problems; empty means the network is valid.
+[[nodiscard]] std::vector<std::string> validate(const Network& network);
+
+// Throws std::runtime_error listing all problems if validation fails.
+void validate_or_throw(const Network& network);
+
+}  // namespace abp::net

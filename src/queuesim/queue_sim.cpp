@@ -1,0 +1,243 @@
+#include "src/queuesim/queue_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abp::queuesim {
+
+QueueSim::QueueSim(const net::Network& network, QueueSimConfig config,
+                   std::vector<core::ControllerPtr> controllers,
+                   traffic::DemandGenerator& demand)
+    : net_(network), config_(config), controllers_(std::move(controllers)), demand_(demand) {
+  if (!net_.finalized()) throw std::invalid_argument("network must be finalized");
+  if (config_.step_s <= 0.0) throw std::invalid_argument("step must be positive");
+  if (config_.control_interval_s < config_.step_s) {
+    throw std::invalid_argument("control interval must be >= step");
+  }
+  if (controllers_.size() != net_.intersections().size()) {
+    throw std::invalid_argument("need exactly one controller per intersection");
+  }
+  roads_.resize(net_.roads().size());
+  links_.resize(net_.links().size());
+  displayed_.assign(net_.intersections().size(), net::kTransitionPhase);
+  entry_buffer_.resize(net_.roads().size());
+  result_.phase_traces.resize(net_.intersections().size());
+}
+
+void QueueSim::watch_road(RoadId road, std::string series_name) {
+  watches_.push_back({road, result_.road_series.size()});
+  result_.road_series.emplace_back(std::move(series_name));
+}
+
+int QueueSim::link_queue(LinkId link) const {
+  return static_cast<int>(links_[link.index()].queue.size());
+}
+
+int QueueSim::road_occupancy(RoadId road) const { return roads_[road.index()].occupancy; }
+
+net::PhaseIndex QueueSim::displayed_phase(IntersectionId node) const {
+  return displayed_[node.index()];
+}
+
+int QueueSim::vehicles_in_network() const {
+  int count = 0;
+  for (const VehicleRecord& v : vehicles_) {
+    if (v.in_network) ++count;
+  }
+  return count;
+}
+
+int QueueSim::queued_on_road(RoadId road) const {
+  int total = 0;
+  for (LinkId lid : net_.links_from(road)) {
+    total += static_cast<int>(links_[lid.index()].queue.size());
+  }
+  return total;
+}
+
+core::IntersectionObservation QueueSim::observe(const net::Intersection& node) const {
+  core::IntersectionObservation obs;
+  obs.time = now_;
+  obs.links.reserve(node.links.size());
+  for (LinkId lid : node.links) {
+    const net::Link& link = net_.link(lid);
+    core::LinkState state;
+    state.queue = static_cast<int>(links_[lid.index()].queue.size());
+    state.upstream_total = queued_on_road(link.from_road);
+    state.upstream_capacity = net_.road(link.from_road).capacity;
+    state.downstream_queue =
+        net_.road(link.to_road).is_exit() ? 0 : queued_on_road(link.to_road);
+    state.downstream_total = roads_[link.to_road.index()].occupancy;
+    state.downstream_capacity = net_.road(link.to_road).capacity;
+    state.service_rate = link.service_rate;
+    obs.links.push_back(state);
+  }
+  return obs;
+}
+
+void QueueSim::control_step() {
+  for (const net::Intersection& node : net_.intersections()) {
+    const net::PhaseIndex phase = controllers_[node.id.index()]->decide(observe(node));
+    if (phase < 0 || phase >= static_cast<int>(node.phases.size())) {
+      throw std::logic_error("controller returned an out-of-range phase");
+    }
+    if (phase != displayed_[node.id.index()]) {
+      // A phase change cuts service credit of links that lost green.
+      for (LinkId lid : node.links) links_[lid.index()].credit = 0.0;
+    }
+    displayed_[node.id.index()] = phase;
+    result_.phase_traces[node.id.index()].record(now_, phase);
+  }
+}
+
+void QueueSim::route_vehicle_into_queue(VehicleId vid, RoadId road) {
+  VehicleRecord& v = vehicles_[vid.index()];
+  if (v.next_turn >= v.route.turns.size()) {
+    throw std::logic_error("vehicle ran out of route turns on a non-exit road");
+  }
+  const net::Turn turn = v.route.turns[v.next_turn];
+  const std::optional<LinkId> link = net_.find_link(road, turn);
+  if (!link) throw std::logic_error("route commands a missing movement");
+  links_[link->index()].queue.push_back(vid);
+}
+
+void QueueSim::complete_vehicle(VehicleId vid) {
+  VehicleRecord& v = vehicles_[vid.index()];
+  v.in_network = false;
+  result_.metrics.completed += 1;
+  result_.metrics.queuing_time_s.add(v.queue_time);
+  result_.metrics.travel_time_s.add(now_ - v.entry_time);
+}
+
+void QueueSim::admit_spawns(double from, double to) {
+  for (const traffic::SpawnRequest& req : demand_.poll(from, to)) {
+    VehicleId vid(static_cast<std::uint32_t>(vehicles_.size()));
+    VehicleRecord rec;
+    rec.route = req.route;
+    rec.entry_time = req.time;
+    vehicles_.push_back(std::move(rec));
+    result_.metrics.generated += 1;
+    entry_buffer_[req.entry.index()].push_back(vid);
+  }
+  // Admit buffered vehicles while their entry road has space.
+  for (RoadId entry : net_.entry_roads()) {
+    auto& buffer = entry_buffer_[entry.index()];
+    RoadState& road = roads_[entry.index()];
+    const int capacity = net_.road(entry).capacity;
+    while (!buffer.empty() && road.occupancy < capacity) {
+      const VehicleId vid = buffer.front();
+      buffer.pop_front();
+      VehicleRecord& v = vehicles_[vid.index()];
+      v.in_network = true;
+      v.entry_time = now_;  // waiting outside the network is not queuing time
+      road.occupancy += 1;
+      road.transit.push_back({now_ + net_.road(entry).free_flow_time_s(), vid});
+      result_.metrics.entered += 1;
+    }
+    if (!buffer.empty()) {
+      result_.metrics.entry_blocked_time_s +=
+          static_cast<double>(buffer.size()) * config_.step_s;
+    }
+  }
+}
+
+void QueueSim::process_transits() {
+  for (const net::Road& road : net_.roads()) {
+    RoadState& state = roads_[road.id.index()];
+    while (!state.transit.empty() && state.transit.front().arrive_time <= now_) {
+      const VehicleId vid = state.transit.front().vehicle;
+      state.transit.pop_front();
+      if (road.is_exit()) {
+        state.occupancy -= 1;
+        complete_vehicle(vid);
+      } else {
+        route_vehicle_into_queue(vid, road.id);
+      }
+    }
+  }
+}
+
+void QueueSim::serve_links() {
+  for (const net::Intersection& node : net_.intersections()) {
+    const net::PhaseIndex phase = displayed_[node.id.index()];
+    if (phase == net::kTransitionPhase) continue;
+    for (LinkId lid : node.phases[static_cast<std::size_t>(phase)].links) {
+      const net::Link& link = net_.link(lid);
+      LinkQueueState& lq = links_[lid.index()];
+      // Service credit replenishes at mu while green; the cap prevents
+      // banking service across steps in which the queue was empty.
+      const double burst = std::max(1.0, link.service_rate * config_.step_s);
+      lq.credit = std::min(lq.credit + link.service_rate * config_.step_s, burst);
+      RoadState& downstream = roads_[link.to_road.index()];
+      const int downstream_cap = net_.road(link.to_road).capacity;
+      while (lq.credit >= 1.0 && !lq.queue.empty() && downstream.occupancy < downstream_cap) {
+        const VehicleId vid = lq.queue.front();
+        lq.queue.pop_front();
+        lq.credit -= 1.0;
+        roads_[link.from_road.index()].occupancy -= 1;
+        downstream.occupancy += 1;
+        VehicleRecord& v = vehicles_[vid.index()];
+        v.next_turn += 1;
+        downstream.transit.push_back(
+            {now_ + net_.road(link.to_road).free_flow_time_s(), vid});
+      }
+    }
+  }
+}
+
+void QueueSim::accumulate_queue_time() {
+  for (const LinkQueueState& lq : links_) {
+    for (VehicleId vid : lq.queue) {
+      vehicles_[vid.index()].queue_time += config_.step_s;
+    }
+  }
+}
+
+void QueueSim::sample_watches() {
+  for (const Watch& w : watches_) {
+    result_.road_series[w.series_index].push(now_,
+                                             static_cast<double>(queued_on_road(w.road)));
+  }
+  result_.in_network_series.push(now_, static_cast<double>(vehicles_in_network()));
+}
+
+void QueueSim::step() {
+  if (now_ >= next_control_) {
+    control_step();
+    next_control_ += config_.control_interval_s;
+  }
+  if (now_ >= next_sample_) {
+    sample_watches();
+    next_sample_ += config_.sample_interval_s;
+  }
+  admit_spawns(now_, now_ + config_.step_s);
+  serve_links();
+  now_ += config_.step_s;
+  process_transits();
+  accumulate_queue_time();
+}
+
+stats::RunResult& QueueSim::run_until(double until_s) {
+  if (finished_) throw std::logic_error("QueueSim::run_until after finish");
+  while (now_ < until_s) step();
+  return result_;
+}
+
+stats::RunResult QueueSim::finish(double duration_s) {
+  run_until(duration_s);
+  finished_ = true;
+  for (VehicleRecord& v : vehicles_) {
+    if (!v.in_network) continue;
+    // Close open records so heavy congestion is visible in the metric rather
+    // than silently dropped.
+    result_.metrics.in_network_at_end += 1;
+    result_.metrics.queuing_time_s.add(v.queue_time);
+    result_.metrics.travel_time_s.add(now_ - v.entry_time);
+    v.in_network = false;
+  }
+  for (stats::PhaseTrace& trace : result_.phase_traces) trace.finish(now_);
+  result_.duration_s = now_;
+  return std::move(result_);
+}
+
+}  // namespace abp::queuesim

@@ -1,0 +1,132 @@
+// Discrete-time queueing-network simulator: the paper's Section II model,
+// implemented exactly.
+//
+// Every road N_i is a queueing node with capacity W_i. Vehicles arriving on a
+// road drive for its free-flow time (modeled as a constant transfer delay) and
+// then join the dedicated per-movement queue q_i^{i'} matching the next turn
+// of their route. While a movement's link is green, it serves its queue at
+// rate mu_i^{i'} (Eq. 2's S term), bounded by the downstream road's remaining
+// capacity. Served vehicles transfer to the downstream road; vehicles served
+// into an exit road leave the network when they reach its far end.
+//
+// This simulator is the formal model the controllers were designed against:
+// it is used by the property tests (work conservation, stability, capacity
+// safety) and by the model-level cross-check bench; the microscopic simulator
+// (src/microsim) is the SUMO substitute used for the headline experiments.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "src/core/controller.hpp"
+#include "src/net/network.hpp"
+#include "src/stats/run_result.hpp"
+#include "src/traffic/demand.hpp"
+
+namespace abp::queuesim {
+
+struct QueueSimConfig {
+  // Mini-slot Delta-t: one service/arrival update per step.
+  double step_s = 1.0;
+  // Controllers are invoked every control_interval_s (>= step_s).
+  double control_interval_s = 1.0;
+  // Interval between samples pushed to registered road watches.
+  double sample_interval_s = 10.0;
+};
+
+class QueueSim {
+ public:
+  // All referees must outlive the simulator. `controllers` holds one
+  // controller per intersection, indexed by IntersectionId::index().
+  QueueSim(const net::Network& network, QueueSimConfig config,
+           std::vector<core::ControllerPtr> controllers, traffic::DemandGenerator& demand);
+
+  // Registers a queue-length watch on a road: the series samples the total
+  // number of vehicles queued at the stop line of `road` (q_i of Eq. 1).
+  void watch_road(RoadId road, std::string series_name);
+
+  // Advances the simulation to `until_s` and returns the result. May be
+  // called repeatedly with increasing horizons.
+  stats::RunResult& run_until(double until_s);
+
+  // Runs from the current time to `duration_s`, closes all per-vehicle
+  // records, and returns the final result.
+  stats::RunResult finish(double duration_s);
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  // Vehicles currently queued for a movement (test hook).
+  [[nodiscard]] int link_queue(LinkId link) const;
+  // All vehicles currently on a road: in transit + queued (test hook).
+  [[nodiscard]] int road_occupancy(RoadId road) const;
+  // Phase currently displayed at a junction (test hook).
+  [[nodiscard]] net::PhaseIndex displayed_phase(IntersectionId node) const;
+  // Total vehicles inside the network right now (test hook).
+  [[nodiscard]] int vehicles_in_network() const;
+
+ private:
+  struct VehicleRecord {
+    traffic::Route route;
+    std::size_t next_turn = 0;
+    double entry_time = 0.0;
+    double queue_time = 0.0;
+    bool in_network = false;
+  };
+
+  struct TransitEntry {
+    double arrive_time = 0.0;
+    VehicleId vehicle;
+  };
+
+  struct RoadState {
+    // Vehicles driving toward the stop line (constant free-flow delay), FIFO.
+    std::deque<TransitEntry> transit;
+    // Occupancy counter: transit + all link queues + junction hand-off slots.
+    int occupancy = 0;
+  };
+
+  struct LinkQueueState {
+    std::deque<VehicleId> queue;
+    // Fractional service credit; replenished while green, capped at one burst.
+    double credit = 0.0;
+  };
+
+  struct Watch {
+    RoadId road;
+    std::size_t series_index;
+  };
+
+  void step();
+  void control_step();
+  void admit_spawns(double from, double to);
+  void process_transits();
+  void serve_links();
+  void accumulate_queue_time();
+  void sample_watches();
+  void route_vehicle_into_queue(VehicleId vid, RoadId road);
+  void complete_vehicle(VehicleId vid);
+  [[nodiscard]] core::IntersectionObservation observe(const net::Intersection& node) const;
+  [[nodiscard]] int queued_on_road(RoadId road) const;
+
+  const net::Network& net_;
+  QueueSimConfig config_;
+  std::vector<core::ControllerPtr> controllers_;
+  traffic::DemandGenerator& demand_;
+
+  double now_ = 0.0;
+  double next_control_ = 0.0;
+  double next_sample_ = 0.0;
+
+  std::vector<RoadState> roads_;
+  std::vector<LinkQueueState> links_;
+  std::vector<net::PhaseIndex> displayed_;  // per intersection
+  std::vector<VehicleRecord> vehicles_;
+  // Spawns waiting for space on their (full) entry road, FIFO per road.
+  std::vector<std::deque<VehicleId>> entry_buffer_;
+
+  std::vector<Watch> watches_;
+  stats::RunResult result_;
+  bool finished_ = false;
+};
+
+}  // namespace abp::queuesim

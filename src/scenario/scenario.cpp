@@ -1,0 +1,79 @@
+#include "src/scenario/scenario.hpp"
+
+#include <stdexcept>
+
+#include <cmath>
+
+#include "src/microsim/micro_sim.hpp"
+#include "src/util/accumulator.hpp"
+#include "src/net/validation.hpp"
+
+namespace abp::scenario {
+
+ScenarioConfig paper_scenario(traffic::PatternKind pattern, core::ControllerType type,
+                              double fixed_slot_period_s) {
+  ScenarioConfig cfg;
+  cfg.grid = net::GridConfig{};  // 3x3, W=120, mu=1, left-hand traffic
+  cfg.demand.pattern = pattern;
+  cfg.demand.turning = traffic::TurningTable::paper();
+  cfg.controller.type = type;
+  cfg.controller.util.alpha = -1.0;
+  cfg.controller.util.beta = -2.0;
+  cfg.controller.util.amber_duration_s = 4.0;
+  cfg.controller.util.gstar_policy = core::GStarPolicy::WStarMu;
+  cfg.controller.fixed_slot.period_s = fixed_slot_period_s;
+  cfg.controller.fixed_slot.amber_duration_s = 4.0;
+  cfg.controller.fixed_time.amber_duration_s = 4.0;
+  cfg.duration_s = traffic::paper_duration_s(pattern);
+  return cfg;
+}
+
+stats::RunResult run_scenario(const ScenarioConfig& config) {
+  net::Network network = net::build_grid(config.grid);
+  net::validate_or_throw(network);
+
+  traffic::DemandGenerator demand(network, config.demand, config.seed);
+  std::vector<core::ControllerPtr> controllers =
+      core::make_controllers(config.controller, network);
+
+  auto resolve_watch = [&](const WatchSpec& w) {
+    const auto node = network.at_grid(w.row, w.col);
+    if (!node) throw std::invalid_argument("watch references a junction outside the grid");
+    const RoadId road = network.intersection(*node).incoming_on(w.side);
+    if (!road.valid()) throw std::invalid_argument("watched junction has no such approach");
+    return road;
+  };
+
+  if (config.simulator == SimulatorKind::Micro) {
+    microsim::MicroSim sim(network, config.micro, std::move(controllers), demand,
+                           config.seed + 0x5157u);
+    for (const WatchSpec& w : config.watches) sim.watch_road(resolve_watch(w), w.name);
+    return sim.finish(config.duration_s);
+  }
+  queuesim::QueueSim sim(network, config.queue, std::move(controllers), demand);
+  for (const WatchSpec& w : config.watches) sim.watch_road(resolve_watch(w), w.name);
+  return sim.finish(config.duration_s);
+}
+
+ReplicationSummary run_replications(ScenarioConfig config, int replications) {
+  if (replications < 1) {
+    throw std::invalid_argument("need at least one replication");
+  }
+  ReplicationSummary summary;
+  Accumulator acc;
+  const std::uint64_t base_seed = config.seed;
+  for (int i = 0; i < replications; ++i) {
+    config.seed = base_seed + static_cast<std::uint64_t>(i);
+    const stats::RunResult r = run_scenario(config);
+    summary.avg_queuing_times_s.push_back(r.metrics.average_queuing_time_s());
+    acc.add(summary.avg_queuing_times_s.back());
+  }
+  summary.mean_s = acc.mean();
+  summary.stddev_s = acc.stddev();
+  summary.ci95_halfwidth_s =
+      replications > 1 ? 1.96 * acc.stddev() / std::sqrt(static_cast<double>(replications))
+                       : 0.0;
+  return summary;
+}
+
+}  // namespace abp::scenario

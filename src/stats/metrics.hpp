@@ -1,0 +1,42 @@
+// Run-level metrics: the quantities the paper's evaluation reports.
+//
+// The headline metric is the average queuing time of a vehicle across the
+// whole network (Fig. 2 / Table III): the time a vehicle spends stopped (or
+// queued, in the queueing simulator) between entering and leaving the
+// network. We also track throughput and entry blocking to diagnose runs.
+#pragma once
+
+#include <cstddef>
+
+#include "src/util/accumulator.hpp"
+
+namespace abp::stats {
+
+struct NetworkMetrics {
+  // Per-vehicle queuing time, sampled when the vehicle's record closes
+  // (network exit, or simulation end for vehicles still inside).
+  SampleSet queuing_time_s;
+  // Per-vehicle total travel time in the network (exit - entry).
+  SampleSet travel_time_s;
+
+  // Vehicles that the demand process generated.
+  std::size_t generated = 0;
+  // Vehicles that actually entered the network.
+  std::size_t entered = 0;
+  // Vehicles that left through an exit road.
+  std::size_t completed = 0;
+  // Vehicles still in the network when the run ended.
+  std::size_t in_network_at_end = 0;
+  // Time vehicles spent blocked outside a full entry road, total (diagnostic).
+  double entry_blocked_time_s = 0.0;
+
+  [[nodiscard]] double average_queuing_time_s() const { return queuing_time_s.mean(); }
+  [[nodiscard]] double average_travel_time_s() const { return travel_time_s.mean(); }
+  // Fraction of entered vehicles that completed their route.
+  [[nodiscard]] double completion_ratio() const {
+    return entered == 0 ? 0.0
+                        : static_cast<double>(completed) / static_cast<double>(entered);
+  }
+};
+
+}  // namespace abp::stats

@@ -1,0 +1,29 @@
+// Fixed-width text tables for bench and example output.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace abp::stats {
+
+// Builds a left-padded fixed-width table. Rows may have fewer cells than the
+// header; missing cells render empty.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Formats a double with the given precision (helper for callers).
+  [[nodiscard]] static std::string num(double value, int precision = 2);
+
+  // Renders with column separators and a header rule.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace abp::stats

@@ -1,0 +1,26 @@
+// Common result bundle produced by both simulators.
+#pragma once
+
+#include <vector>
+
+#include "src/stats/metrics.hpp"
+#include "src/stats/phase_trace.hpp"
+#include "src/stats/timeseries.hpp"
+
+namespace abp::stats {
+
+struct RunResult {
+  NetworkMetrics metrics;
+  // One trace per intersection, indexed by IntersectionId::index().
+  std::vector<PhaseTrace> phase_traces;
+  // One series per registered road watch, in registration order.
+  std::vector<TimeSeries> road_series;
+  // Vehicles inside the network over time (sampled at the watch interval).
+  // Boundedness of this series is the paper's stability notion (Section IV,
+  // Q1): a stable controller keeps it bounded, an unstable one lets it grow.
+  TimeSeries in_network_series{"in_network"};
+  // Wall-clock-independent simulated duration of the run.
+  double duration_s = 0.0;
+};
+
+}  // namespace abp::stats

@@ -1,0 +1,32 @@
+#include "src/stats/timeseries.hpp"
+
+#include <algorithm>
+
+namespace abp::stats {
+
+double TimeSeries::mean() const {
+  if (values_.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values_) total += v;
+  return total / static_cast<double>(values_.size());
+}
+
+double TimeSeries::max() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::time_weighted_mean() const {
+  if (times_.size() < 2) return mean();
+  double weighted = 0.0;
+  double span = 0.0;
+  for (std::size_t i = 0; i + 1 < times_.size(); ++i) {
+    const double dt = times_[i + 1] - times_[i];
+    if (dt <= 0.0) continue;
+    weighted += values_[i] * dt;
+    span += dt;
+  }
+  return span > 0.0 ? weighted / span : mean();
+}
+
+}  // namespace abp::stats

@@ -1,0 +1,35 @@
+// Sampled time series (queue lengths over time, Fig. 5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace abp::stats {
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string name = {}) : name_(std::move(name)) {}
+
+  void push(double time, double value) {
+    times_.push_back(time);
+    values_.push_back(value);
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<double>& times() const noexcept { return times_; }
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
+  [[nodiscard]] std::size_t size() const noexcept { return times_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return times_.empty(); }
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double max() const;
+  // Time-weighted average assuming piecewise-constant values between samples.
+  [[nodiscard]] double time_weighted_mean() const;
+
+ private:
+  std::string name_;
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace abp::stats

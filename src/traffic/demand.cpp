@@ -1,0 +1,58 @@
+#include "src/traffic/demand.hpp"
+
+#include <algorithm>
+
+namespace abp::traffic {
+
+DemandGenerator::DemandGenerator(const net::Network& network, DemandConfig config,
+                                 std::uint64_t seed)
+    : network_(network), config_(config), seed_(seed) {
+  seed_processes();
+}
+
+void DemandGenerator::seed_processes() {
+  processes_.clear();
+  total_ = 0;
+  Rng master(seed_);
+  for (RoadId road : network_.entry_roads()) {
+    EntryProcess p{.road = road,
+                   .side = network_.road(road).arrival_side,
+                   .next_arrival = 0.0,
+                   .rng = master.split()};
+    // First arrival: one full inter-arrival gap from time zero, so an empty
+    // network warms up the same way in both simulators.
+    p.next_arrival = p.rng.exponential(mean_at(p.side, 0.0));
+    processes_.push_back(std::move(p));
+  }
+}
+
+void DemandGenerator::reset() { seed_processes(); }
+
+double DemandGenerator::mean_at(net::Side side, double time_s) const {
+  if (!config_.schedule.empty()) {
+    return config_.schedule.mean_interarrival(side, time_s) * config_.interarrival_scale;
+  }
+  return mean_interarrival(config_.pattern, side, time_s, config_.interarrival_scale);
+}
+
+std::vector<SpawnRequest> DemandGenerator::poll(double from_time, double to_time) {
+  std::vector<SpawnRequest> spawns;
+  for (EntryProcess& p : processes_) {
+    while (p.next_arrival < to_time) {
+      if (p.next_arrival >= from_time) {
+        SpawnRequest req;
+        req.time = p.next_arrival;
+        req.entry = p.road;
+        req.route = sample_route(network_, p.road, config_.turning, p.rng);
+        spawns.push_back(std::move(req));
+        ++total_;
+      }
+      p.next_arrival += p.rng.exponential(mean_at(p.side, p.next_arrival));
+    }
+  }
+  std::sort(spawns.begin(), spawns.end(),
+            [](const SpawnRequest& a, const SpawnRequest& b) { return a.time < b.time; });
+  return spawns;
+}
+
+}  // namespace abp::traffic

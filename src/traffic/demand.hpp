@@ -1,0 +1,68 @@
+// Demand generation: exogenous Poisson arrival processes at the entry roads.
+//
+// Each entry road carries an independent Poisson process whose rate follows
+// the active pattern (Table II; the Mixed pattern changes rate every hour).
+// The generator pre-draws the arrival time of the next vehicle per road and
+// releases SpawnRequests as simulation time passes them, each with a route
+// sampled from the Table-I turning probabilities.
+#pragma once
+
+#include <vector>
+
+#include "src/net/network.hpp"
+#include "src/traffic/patterns.hpp"
+#include "src/traffic/route.hpp"
+#include "src/util/rng.hpp"
+
+namespace abp::traffic {
+
+struct DemandConfig {
+  PatternKind pattern = PatternKind::II;
+  TurningTable turning = TurningTable::paper();
+  // Scales all mean inter-arrival times; >1 lightens traffic, <1 intensifies.
+  double interarrival_scale = 1.0;
+  // When non-empty, overrides `pattern`: arrival rates follow the piecewise
+  // schedule (its per-segment scales compose with interarrival_scale).
+  DemandSchedule schedule;
+};
+
+struct SpawnRequest {
+  double time = 0.0;
+  RoadId entry;
+  Route route;
+};
+
+class DemandGenerator {
+ public:
+  // `network` must outlive the generator.
+  DemandGenerator(const net::Network& network, DemandConfig config, std::uint64_t seed);
+
+  // All vehicles arriving in [from_time, to_time), ordered by time.
+  [[nodiscard]] std::vector<SpawnRequest> poll(double from_time, double to_time);
+
+  // Restarts the arrival processes from time zero with the original seed.
+  void reset();
+
+  [[nodiscard]] const DemandConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t total_generated() const noexcept { return total_; }
+
+ private:
+  struct EntryProcess {
+    RoadId road;
+    net::Side side = net::Side::North;
+    double next_arrival = 0.0;
+    Rng rng;
+  };
+
+  void seed_processes();
+  // Mean inter-arrival for a side at a time, honouring the schedule override.
+  [[nodiscard]] double mean_at(net::Side side, double time_s) const;
+
+  const net::Network& network_;
+  DemandConfig config_;
+  std::uint64_t seed_;
+  std::vector<EntryProcess> processes_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace abp::traffic

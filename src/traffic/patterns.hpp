@@ -1,0 +1,107 @@
+// The paper's demand specification: Table I turning probabilities and
+// Table II arrival patterns.
+//
+// Vehicles enter the network at boundary entry roads as Poisson processes
+// whose mean inter-arrival time depends on the boundary side (North/East/
+// South/West) and the active pattern. Each vehicle turns at most once, with a
+// side-dependent probability of turning right/left (Table I); the junction at
+// which the turn happens is selected uniformly at random along its path.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/net/geometry.hpp"
+
+namespace abp::traffic {
+
+// Table I: probability that a vehicle entering from a given boundary side
+// turns right / left (exactly once); remainder goes straight through.
+struct TurningTable {
+  struct Probabilities {
+    double right = 0.0;
+    double left = 0.0;
+    [[nodiscard]] double straight() const noexcept { return 1.0 - right - left; }
+  };
+
+  // Indexed by net::Side.
+  std::array<Probabilities, 4> by_side{};
+
+  [[nodiscard]] const Probabilities& entering_from(net::Side s) const noexcept {
+    return by_side[static_cast<std::size_t>(s)];
+  }
+
+  // The paper's Table I values.
+  [[nodiscard]] static TurningTable paper();
+};
+
+// Table II patterns.
+enum class PatternKind { I, II, III, IV, Mixed };
+
+[[nodiscard]] std::string pattern_name(PatternKind kind);
+
+// Mean inter-arrival times (seconds) per boundary side for one pattern row.
+struct ArrivalRow {
+  // Indexed by net::Side.
+  std::array<double, 4> mean_interarrival_s{};
+
+  [[nodiscard]] double on(net::Side s) const noexcept {
+    return mean_interarrival_s[static_cast<std::size_t>(s)];
+  }
+};
+
+// Table II row for a non-mixed pattern.
+[[nodiscard]] ArrivalRow arrival_row(PatternKind kind);
+
+// Duration of each segment of the mixed pattern: the paper concatenates the
+// four patterns for one hour each (4 h total).
+inline constexpr double kMixedSegmentDuration_s = 3600.0;
+
+// The pattern that governs arrivals at simulation time t. Non-mixed patterns
+// are time-invariant; Mixed cycles I -> II -> III -> IV hourly.
+[[nodiscard]] PatternKind pattern_at(PatternKind kind, double time_s);
+
+// Mean inter-arrival time on side `s` at time `t` for pattern `kind`,
+// optionally scaled (scale > 1 means lighter traffic, i.e. longer gaps).
+[[nodiscard]] double mean_interarrival(PatternKind kind, net::Side s, double time_s,
+                                       double scale = 1.0);
+
+// Nominal duration the paper simulates for the pattern (1 h; 4 h for Mixed).
+[[nodiscard]] double paper_duration_s(PatternKind kind);
+
+// A piecewise demand schedule: each segment runs one (pattern, intensity)
+// combination for a duration. Generalizes the paper's Mixed pattern to
+// arbitrary timelines (rush hours, surges, overnight lulls). The schedule
+// repeats after its last segment.
+struct ScheduleSegment {
+  double duration_s = 3600.0;
+  PatternKind pattern = PatternKind::II;
+  // Multiplies the Table-II inter-arrival means; < 1 intensifies traffic.
+  double interarrival_scale = 1.0;
+};
+
+class DemandSchedule {
+ public:
+  DemandSchedule() = default;
+  // Throws std::invalid_argument on an empty list or non-positive durations.
+  explicit DemandSchedule(std::vector<ScheduleSegment> segments);
+
+  [[nodiscard]] bool empty() const noexcept { return segments_.empty(); }
+  [[nodiscard]] const std::vector<ScheduleSegment>& segments() const noexcept {
+    return segments_;
+  }
+  [[nodiscard]] double cycle_duration_s() const noexcept { return cycle_; }
+
+  // Segment active at time t (schedule repeats past the last segment).
+  [[nodiscard]] const ScheduleSegment& at(double time_s) const;
+
+  // Mean inter-arrival on boundary side `s` at time t under this schedule.
+  [[nodiscard]] double mean_interarrival(net::Side s, double time_s) const;
+
+ private:
+  std::vector<ScheduleSegment> segments_;
+  double cycle_ = 0.0;
+};
+
+}  // namespace abp::traffic

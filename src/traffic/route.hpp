@@ -1,0 +1,55 @@
+// Vehicle routing through the network.
+//
+// Per the paper's workload: a vehicle entering the network goes straight
+// through every junction except at most one, where it turns left or right
+// (Table I probabilities); the turning junction is chosen uniformly among the
+// junctions on its straight-ahead path. After the turn it continues straight
+// until it exits the network.
+//
+// A Route is the per-junction turn sequence; simulators consume one Turn per
+// junction the vehicle crosses and follow the corresponding link.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/net/geometry.hpp"
+#include "src/net/network.hpp"
+#include "src/traffic/patterns.hpp"
+#include "src/util/rng.hpp"
+
+namespace abp::traffic {
+
+struct Route {
+  // Turn to take at the n-th junction encountered (0-based).
+  std::vector<net::Turn> turns;
+  // Road on which the vehicle enters the network.
+  RoadId entry;
+
+  [[nodiscard]] bool empty() const noexcept { return turns.empty(); }
+  [[nodiscard]] std::size_t junction_count() const noexcept { return turns.size(); }
+};
+
+// Follows `route` from its entry road and returns the sequence of roads the
+// vehicle traverses, ending with the exit road. Returns std::nullopt when the
+// route commands a movement that does not exist.
+[[nodiscard]] std::optional<std::vector<RoadId>> roads_of_route(const net::Network& network,
+                                                                const Route& route);
+
+// Number of junctions on the straight-ahead path from `entry` to the exit.
+[[nodiscard]] int straight_path_junctions(const net::Network& network, RoadId entry);
+
+// Builds the route that goes straight everywhere except a `turn` at the
+// junction with 0-based index `turn_at` along the path. Pass
+// turn = Turn::Straight for a pure through route (turn_at ignored).
+// Throws std::invalid_argument when the resulting movement does not exist.
+[[nodiscard]] Route make_route(const net::Network& network, RoadId entry, net::Turn turn,
+                               int turn_at);
+
+// Samples a route per the paper's workload model: draw the turn from the
+// Table-I probabilities of the entry side, then the turning junction
+// uniformly along the straight path.
+[[nodiscard]] Route sample_route(const net::Network& network, RoadId entry,
+                                 const TurningTable& table, Rng& rng);
+
+}  // namespace abp::traffic

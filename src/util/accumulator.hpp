@@ -1,0 +1,63 @@
+// Streaming statistics accumulators.
+//
+// Benchmarks and metrics code need running mean/variance/min/max without
+// storing every sample, plus an exact-percentile variant that does store
+// samples for the per-vehicle queuing-time distributions reported in
+// EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace abp {
+
+// Welford online accumulator: numerically stable mean and variance, O(1) space.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  // Mean of the samples; 0 if empty.
+  [[nodiscard]] double mean() const noexcept;
+  // Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  // Min/max; 0 if empty.
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return mean() * static_cast<double>(n_); }
+
+  // Merges another accumulator into this one (parallel reduction).
+  void merge(const Accumulator& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Sample-retaining accumulator with exact quantiles. Use when the sample count
+// is bounded (per-vehicle metrics over a few hours of simulation).
+class SampleSet {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double mean() const noexcept;
+  // Exact q-quantile by linear interpolation, q in [0,1]; 0 if empty.
+  // Sorts lazily on first query after an insertion.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double min() const { return quantile(0.0); }
+  [[nodiscard]] double max() const { return quantile(1.0); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace abp

@@ -1,0 +1,141 @@
+#include "src/util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace abp {
+namespace {
+
+struct Bounds {
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -std::numeric_limits<double>::infinity();
+  double y_min = std::numeric_limits<double>::infinity();
+  double y_max = -std::numeric_limits<double>::infinity();
+};
+
+Bounds compute_bounds(const std::vector<ChartSeries>& series) {
+  Bounds b;
+  for (const auto& s : series) {
+    for (double v : s.x) {
+      b.x_min = std::min(b.x_min, v);
+      b.x_max = std::max(b.x_max, v);
+    }
+    for (double v : s.y) {
+      b.y_min = std::min(b.y_min, v);
+      b.y_max = std::max(b.y_max, v);
+    }
+  }
+  if (!std::isfinite(b.x_min)) b = Bounds{0, 1, 0, 1};
+  if (b.x_max <= b.x_min) b.x_max = b.x_min + 1.0;
+  if (b.y_max <= b.y_min) b.y_max = b.y_min + 1.0;
+  return b;
+}
+
+std::string format_number(double v) {
+  char buf[32];
+  if (std::abs(v) >= 1000.0 || v == std::floor(v)) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string render_chart(const std::vector<ChartSeries>& series, const ChartOptions& options) {
+  const int w = std::max(options.width, 16);
+  const int h = std::max(options.height, 6);
+  const Bounds b = compute_bounds(series);
+
+  std::vector<std::string> grid(static_cast<std::size_t>(h), std::string(static_cast<std::size_t>(w), ' '));
+  auto plot = [&](double x, double y, char m) {
+    const int col = static_cast<int>(std::lround((x - b.x_min) / (b.x_max - b.x_min) * (w - 1)));
+    const int row = static_cast<int>(std::lround((y - b.y_min) / (b.y_max - b.y_min) * (h - 1)));
+    if (col < 0 || col >= w || row < 0 || row >= h) return;
+    grid[static_cast<std::size_t>(h - 1 - row)][static_cast<std::size_t>(col)] = m;
+  };
+
+  for (const auto& s : series) {
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    // Line interpolation between consecutive points so sparse series read as curves.
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const int steps = w;
+      for (int t = 0; t <= steps; ++t) {
+        const double f = static_cast<double>(t) / steps;
+        plot(s.x[i] + f * (s.x[i + 1] - s.x[i]), s.y[i] + f * (s.y[i + 1] - s.y[i]),
+             t == 0 || t == steps ? s.marker : (s.marker == '*' ? '.' : s.marker));
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) plot(s.x[i], s.y[i], s.marker);
+  }
+
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+  const std::string y_hi = format_number(b.y_max);
+  const std::string y_lo = format_number(b.y_min);
+  const std::size_t label_w = std::max(y_hi.size(), y_lo.size());
+  for (int r = 0; r < h; ++r) {
+    std::string label(label_w, ' ');
+    if (r == 0) label = y_hi;
+    if (r == h - 1) label = y_lo;
+    label.resize(label_w, ' ');
+    out << label << " |" << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << std::string(label_w, ' ') << " +" << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  out << std::string(label_w, ' ') << "  " << format_number(b.x_min);
+  const std::string x_hi = format_number(b.x_max);
+  const int pad = w - static_cast<int>(format_number(b.x_min).size()) - static_cast<int>(x_hi.size());
+  out << std::string(static_cast<std::size_t>(std::max(pad, 1)), ' ') << x_hi << '\n';
+  if (!options.x_label.empty() || !options.y_label.empty()) {
+    out << std::string(label_w, ' ') << "  x: " << options.x_label;
+    if (!options.y_label.empty()) out << "   y: " << options.y_label;
+    out << '\n';
+  }
+  for (const auto& s : series) {
+    out << "  " << s.marker << " = " << s.name << '\n';
+  }
+  return out.str();
+}
+
+std::string render_step_chart(const ChartSeries& series, const ChartOptions& options,
+                              int y_min, int y_max) {
+  const int w = std::max(options.width, 16);
+  const Bounds b = compute_bounds({series});
+  const int bands = y_max - y_min + 1;
+
+  std::vector<std::string> rows(static_cast<std::size_t>(bands), std::string(static_cast<std::size_t>(w), ' '));
+  const std::size_t n = std::min(series.x.size(), series.y.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = series.x[i];
+    const double x1 = (i + 1 < n) ? series.x[i + 1] : b.x_max;
+    const int band = static_cast<int>(std::lround(series.y[i])) - y_min;
+    if (band < 0 || band >= bands) continue;
+    int c0 = static_cast<int>(std::lround((x0 - b.x_min) / (b.x_max - b.x_min) * (w - 1)));
+    int c1 = static_cast<int>(std::lround((x1 - b.x_min) / (b.x_max - b.x_min) * (w - 1)));
+    c0 = std::clamp(c0, 0, w - 1);
+    c1 = std::clamp(c1, 0, w - 1);
+    for (int c = c0; c <= c1; ++c) {
+      rows[static_cast<std::size_t>(bands - 1 - band)][static_cast<std::size_t>(c)] = '#';
+    }
+  }
+
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+  for (int band = 0; band < bands; ++band) {
+    const int value = y_max - band;
+    out << (value < 10 ? " " : "") << value << " |" << rows[static_cast<std::size_t>(band)] << '\n';
+  }
+  out << "   +" << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  out << "    " << format_number(b.x_min);
+  const std::string x_hi = format_number(b.x_max);
+  const int pad = w - static_cast<int>(format_number(b.x_min).size()) - static_cast<int>(x_hi.size());
+  out << std::string(static_cast<std::size_t>(std::max(pad, 1)), ' ') << x_hi << '\n';
+  if (!options.x_label.empty()) out << "    x: " << options.x_label << '\n';
+  return out.str();
+}
+
+}  // namespace abp

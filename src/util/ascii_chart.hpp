@@ -1,0 +1,40 @@
+// Terminal chart rendering for benchmark output.
+//
+// The paper's evaluation is figures (Fig. 2-5). Bench binaries print the same
+// series as ASCII charts so the shape of each result is visible directly in
+// bench_output.txt, in addition to the CSV dumps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace abp {
+
+// One named series of (x, y) points.
+struct ChartSeries {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+  char marker = '*';
+};
+
+struct ChartOptions {
+  int width = 72;       // plot area width in characters
+  int height = 20;      // plot area height in characters
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+};
+
+// Renders an XY line chart of all series into a multi-line string.
+// Series are overlaid with their own markers; axes are annotated with min/max.
+[[nodiscard]] std::string render_chart(const std::vector<ChartSeries>& series,
+                                       const ChartOptions& options);
+
+// Renders a step chart for categorical time series (phase traces, Fig. 3/4):
+// y values are small integers; each is drawn on its own row band.
+[[nodiscard]] std::string render_step_chart(const ChartSeries& series,
+                                            const ChartOptions& options,
+                                            int y_min, int y_max);
+
+}  // namespace abp

@@ -1,0 +1,31 @@
+#include "src/util/csv.hpp"
+
+namespace abp {
+
+CsvWriter::CsvWriter(std::ostream& out, char separator) : out_(out), sep_(separator) {}
+
+std::string CsvWriter::escape(std::string_view field, char separator) {
+  const bool needs_quoting = field.find_first_of("\"\r\n") != std::string_view::npos ||
+                             field.find(separator) != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string quoted;
+  quoted.reserve(field.size() + 2);
+  quoted.push_back('"');
+  for (char c : field) {
+    if (c == '"') quoted.push_back('"');
+    quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << sep_;
+    out_ << escape(fields[i], sep_);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace abp

@@ -1,0 +1,56 @@
+// Minimal CSV emission for experiment outputs.
+//
+// Every bench binary writes the series it prints to a CSV file next to the
+// textual output, so figures can be re-plotted outside this repo. Quoting
+// follows RFC 4180: fields containing separator, quote or newline are quoted,
+// embedded quotes doubled.
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace abp {
+
+class CsvWriter {
+ public:
+  // Writes rows to `out`. The stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out, char separator = ',');
+
+  // Writes one row; each field is escaped independently.
+  void row(const std::vector<std::string>& fields);
+
+  // Convenience: heterogeneous row of printable values.
+  template <typename... Ts>
+  void typed_row(const Ts&... values) {
+    std::vector<std::string> fields;
+    fields.reserve(sizeof...(values));
+    (fields.push_back(to_field(values)), ...);
+    row(fields);
+  }
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+  // Escapes a single field per RFC 4180.
+  [[nodiscard]] static std::string escape(std::string_view field, char separator = ',');
+
+ private:
+  template <typename T>
+  static std::string to_field(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      std::ostringstream os;
+      os << v;
+      return os.str();
+    }
+  }
+
+  std::ostream& out_;
+  char sep_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace abp

@@ -1,0 +1,67 @@
+// Deterministic random number generation for simulations.
+//
+// All stochastic inputs of a run (arrival times, turning decisions, car-follower
+// dawdling) are drawn from a single seeded stream so that every experiment is
+// exactly reproducible. We implement xoshiro256++ (public-domain, Blackman &
+// Vigna) rather than relying on std::mt19937 so that the bit stream is stable
+// across standard-library implementations, plus the distributions we need:
+// uniform, exponential (Poisson inter-arrival times), Poisson counts and
+// discrete choice.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace abp {
+
+// xoshiro256++ engine. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  // Seeds the state via SplitMix64 so that nearby seeds give unrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+
+  // Next raw 64-bit word of the stream.
+  std::uint64_t next() noexcept;
+
+  // Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  // Exponentially distributed value with the given mean (= 1/rate).
+  // Used for Poisson-process inter-arrival times (Table II of the paper).
+  double exponential(double mean) noexcept;
+
+  // Poisson-distributed count with the given mean. Knuth's method for small
+  // means, normal approximation above 30 (counts per mini-slot are small).
+  int poisson(double mean) noexcept;
+
+  // True with probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  // Index sampled according to `weights` (non-negative, not all zero).
+  // Used for turning-probability draws (Table I).
+  std::size_t discrete(std::span<const double> weights) noexcept;
+
+  // Splits off an independent child stream; used to give each intersection /
+  // entry road its own stream while keeping one master seed per run.
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace abp

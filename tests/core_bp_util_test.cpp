@@ -1,0 +1,266 @@
+// Tests for UTIL-BP (Algorithm 1): every case and transition of the paper's
+// pseudocode, driven by scripted observations of a Fig.-1-style junction.
+#include "src/core/bp_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace abp::core {
+namespace {
+
+// A plan shaped like the paper's Fig. 1 junction: 4 links in the NS-through
+// phase (indices 0-3), 2 in NS-protected (4-5), 4 in EW-through (6-9), 2 in
+// EW-protected (10-11).
+IntersectionPlan fig1_plan() {
+  IntersectionPlan plan;
+  plan.num_links = 12;
+  plan.phases = {{}, {0, 1, 2, 3}, {4, 5}, {6, 7, 8, 9}, {10, 11}};
+  return plan;
+}
+
+// A two-phase plan with one link each, for the simplest scripted scenarios.
+IntersectionPlan two_phase_plan() {
+  IntersectionPlan plan;
+  plan.num_links = 2;
+  plan.phases = {{}, {0}, {1}};
+  return plan;
+}
+
+IntersectionObservation obs_at(double time, const std::vector<int>& queues,
+                               const std::vector<int>& downstream_queues,
+                               int capacity = 120) {
+  IntersectionObservation obs;
+  obs.time = time;
+  for (std::size_t i = 0; i < queues.size(); ++i) {
+    LinkState l;
+    l.queue = queues[i];
+    l.upstream_total = queues[i];
+    l.upstream_capacity = capacity;
+    l.downstream_queue = downstream_queues[i];
+    l.downstream_total = downstream_queues[i];
+    l.downstream_capacity = capacity;
+    l.service_rate = 1.0;
+    obs.links.push_back(l);
+  }
+  return obs;
+}
+
+UtilBpConfig paper_config() {
+  UtilBpConfig cfg;
+  cfg.alpha = -1.0;
+  cfg.beta = -2.0;
+  cfg.amber_duration_s = 4.0;
+  cfg.gstar_policy = GStarPolicy::WStarMu;
+  return cfg;
+}
+
+TEST(UtilBp, RejectsNonNegativeSentinels) {
+  UtilBpConfig cfg = paper_config();
+  cfg.alpha = 0.0;
+  EXPECT_THROW(UtilBpController(two_phase_plan(), cfg), std::invalid_argument);
+  cfg = paper_config();
+  cfg.beta = 0.5;
+  EXPECT_THROW(UtilBpController(two_phase_plan(), cfg), std::invalid_argument);
+}
+
+TEST(UtilBp, RejectsNegativeAmber) {
+  UtilBpConfig cfg = paper_config();
+  cfg.amber_duration_s = -1.0;
+  EXPECT_THROW(UtilBpController(two_phase_plan(), cfg), std::invalid_argument);
+}
+
+TEST(UtilBp, RejectsPlanWithoutControlPhases) {
+  IntersectionPlan plan;
+  plan.num_links = 1;
+  plan.phases = {{}};
+  EXPECT_THROW(UtilBpController(plan, paper_config()), std::invalid_argument);
+}
+
+TEST(UtilBp, RejectsMismatchedObservation) {
+  UtilBpController c(two_phase_plan(), paper_config());
+  EXPECT_THROW(c.decide(obs_at(0.0, {1}, {0})), std::invalid_argument);
+}
+
+TEST(UtilBp, FirstDecisionPicksAPhaseImmediately) {
+  // Initially in the (expired) transition phase, Algorithm 1 Line 12 applies:
+  // c(k-1) == c0 -> the selected phase starts with no amber.
+  UtilBpController c(two_phase_plan(), paper_config());
+  const auto phase = c.decide(obs_at(0.0, {5, 1}, {0, 0}));
+  EXPECT_EQ(phase, 1);
+}
+
+TEST(UtilBp, KeepsPhaseWhilePressurePositive) {
+  // Case 2: gmax(c(k-1)) > g* = W* mu, i.e. the max-gain link's pressure
+  // difference is still positive.
+  UtilBpController c(two_phase_plan(), paper_config());
+  EXPECT_EQ(c.decide(obs_at(0.0, {10, 3}, {0, 0})), 1);
+  // Queue drains but stays above the downstream queue: keep.
+  EXPECT_EQ(c.decide(obs_at(1.0, {8, 5}, {0, 0})), 1);
+  EXPECT_EQ(c.decide(obs_at(2.0, {5, 9}, {0, 0})), 1);
+  EXPECT_EQ(c.decide(obs_at(3.0, {1, 20}, {0, 0})), 1);
+}
+
+TEST(UtilBp, SwitchesThroughAmberWhenBetterPhaseAppears) {
+  UtilBpController c(two_phase_plan(), paper_config());
+  EXPECT_EQ(c.decide(obs_at(0.0, {10, 3}, {0, 0})), 1);
+  // Phase 1's pressure difference goes non-positive; phase 2 has demand.
+  EXPECT_EQ(c.decide(obs_at(1.0, {0, 30}, {0, 0})), net::kTransitionPhase);
+  // Amber holds for Delta-k = 4 s (Case 1)...
+  EXPECT_EQ(c.decide(obs_at(2.0, {0, 30}, {0, 0})), net::kTransitionPhase);
+  EXPECT_EQ(c.decide(obs_at(4.9, {0, 30}, {0, 0})), net::kTransitionPhase);
+  // ...then the new phase starts.
+  EXPECT_EQ(c.decide(obs_at(5.0, {0, 30}, {0, 0})), 2);
+}
+
+TEST(UtilBp, ZeroPressureDifferenceDoesNotKeep) {
+  // Eq. (12) keep-test is strict: gmax == g* must fall through to Case 3.
+  UtilBpController c(two_phase_plan(), paper_config());
+  EXPECT_EQ(c.decide(obs_at(0.0, {10, 0}, {0, 0})), 1);
+  // Pressure difference exactly zero on the active link; phase 2 now has the
+  // higher total gain, so a transition begins.
+  EXPECT_EQ(c.decide(obs_at(1.0, {4, 9}, {4, 0})), net::kTransitionPhase);
+}
+
+TEST(UtilBp, ReselectingSamePhaseNeedsNoAmber) {
+  // Case 3 with c' == c(k-1) (Line 12): stay green, no transition.
+  UtilBpController c(two_phase_plan(), paper_config());
+  EXPECT_EQ(c.decide(obs_at(0.0, {10, 3}, {0, 0})), 1);
+  // Keep-rule fails (difference <= 0) but phase 1 ties phase 2 on total gain
+  // and the incumbent wins ties, so it is re-selected without an amber.
+  EXPECT_EQ(c.decide(obs_at(1.0, {5, 2}, {5, 2})), 1);
+}
+
+TEST(UtilBp, AmberEndReselectsFromFreshState) {
+  // The phase chosen after amber reflects the state *then*, not the state
+  // when the transition started.
+  UtilBpController c(two_phase_plan(), paper_config());
+  EXPECT_EQ(c.decide(obs_at(0.0, {10, 3}, {0, 0})), 1);
+  EXPECT_EQ(c.decide(obs_at(1.0, {0, 30}, {0, 0})), net::kTransitionPhase);
+  // During amber the world changed: phase 1 is loaded again.
+  EXPECT_EQ(c.decide(obs_at(5.0, {50, 2}, {0, 0})), 1);
+}
+
+TEST(UtilBp, AllEmptyFallsBackToGmaxSelection) {
+  // Scenario 2 of Case 3 (Line 10): every phase's gmax <= alpha; pick the
+  // phase with the highest single link gain. With all lanes empty all gains
+  // are alpha; the first phase wins deterministically.
+  UtilBpController c(two_phase_plan(), paper_config());
+  EXPECT_EQ(c.decide(obs_at(0.0, {0, 0}, {0, 0})), 1);
+  // Still all empty: re-selected, no amber churn.
+  EXPECT_EQ(c.decide(obs_at(1.0, {0, 0}, {0, 0})), 1);
+}
+
+TEST(UtilBp, FullDownstreamPhaseAvoided) {
+  // Phase 1's only link discharges into a full road (gain beta); phase 2 has
+  // an empty lane (gain alpha). alpha > beta, and with no phase above alpha
+  // the controller picks the gmax-argmax: phase 2.
+  UtilBpConfig cfg = paper_config();
+  UtilBpController c(two_phase_plan(), cfg);
+  IntersectionObservation obs = obs_at(0.0, {30, 0}, {0, 0});
+  obs.links[0].downstream_total = 120;  // full
+  obs.links[0].downstream_queue = 100;
+  EXPECT_EQ(c.decide(obs), 2);
+}
+
+TEST(UtilBp, PrefersPhaseGuaranteeingUtilization) {
+  // Scenario 1 of Case 3 (Lines 6-8): among phases with gmax > alpha, the
+  // *total* gain decides. Phase 1 (4 links with small queues) must beat
+  // phase 2 (2 links, one big queue) when its total is higher.
+  UtilBpController c(fig1_plan(), paper_config());
+  // Phase 1 links: 8+8+8+8 = 32 (+4 W*); phase 2: 20 + alpha.
+  std::vector<int> queues(12, 0);
+  queues[0] = queues[1] = queues[2] = queues[3] = 8;
+  queues[4] = 20;
+  const auto phase = c.decide(obs_at(0.0, queues, std::vector<int>(12, 0)));
+  EXPECT_EQ(phase, 1);
+}
+
+TEST(UtilBp, HighestSingleGainDoesNotBeatTotalGain) {
+  // Counterpoint: one huge queue in a 2-link phase can outweigh four small
+  // ones if the totals say so.
+  UtilBpController c(fig1_plan(), paper_config());
+  std::vector<int> queues(12, 0);
+  queues[0] = queues[1] = queues[2] = queues[3] = 1;
+  queues[4] = queues[5] = 120;
+  const auto phase = c.decide(obs_at(0.0, queues, std::vector<int>(12, 0)));
+  // Phase 2 total: 2*(120+120) = 480 > phase 1 total: 4*(1+120) = 484...
+  // actually compute: phase 1 = 484, phase 2 = 480 -> phase 1 wins.
+  EXPECT_EQ(phase, 1);
+  // Empty the small queues: phase 1 total becomes 4*alpha; phase 2 wins.
+  UtilBpController c2(fig1_plan(), paper_config());
+  std::vector<int> queues2(12, 0);
+  queues2[4] = queues2[5] = 120;
+  EXPECT_EQ(c2.decide(obs_at(0.0, queues2, std::vector<int>(12, 0))), 2);
+}
+
+TEST(UtilBp, GStarZeroKeepsLonger) {
+  // With g* = 0, the phase is kept while any constituent gain is positive,
+  // i.e. until its lanes are empty or blocked — later than Eq. (12).
+  UtilBpConfig cfg = paper_config();
+  cfg.gstar_policy = GStarPolicy::Zero;
+  UtilBpController c(two_phase_plan(), cfg);
+  EXPECT_EQ(c.decide(obs_at(0.0, {10, 3}, {0, 0})), 1);
+  // Pressure difference negative, but gain (diff + W*) still positive: keep.
+  EXPECT_EQ(c.decide(obs_at(1.0, {2, 30}, {20, 0})), 1);
+}
+
+TEST(UtilBp, GStarConstantHonoured) {
+  UtilBpConfig cfg = paper_config();
+  cfg.gstar_policy = GStarPolicy::Constant;
+  cfg.gstar_constant = 125.0;  // just above W* + small queues
+  UtilBpController c(two_phase_plan(), cfg);
+  EXPECT_EQ(c.decide(obs_at(0.0, {10, 0}, {0, 0})), 1);  // gain 130 > 125
+  // Gain drops to 123 < 125 -> Case 3; phase 1 still best (re-selected).
+  EXPECT_EQ(c.decide(obs_at(1.0, {3, 0}, {0, 0})), 1);
+}
+
+TEST(UtilBp, ResetRestoresInitialState) {
+  UtilBpController c(two_phase_plan(), paper_config());
+  EXPECT_EQ(c.decide(obs_at(0.0, {10, 3}, {0, 0})), 1);
+  EXPECT_EQ(c.decide(obs_at(1.0, {0, 30}, {0, 0})), net::kTransitionPhase);
+  c.reset();
+  EXPECT_EQ(c.current_phase(), net::kTransitionPhase);
+  // After reset the amber deadline is gone: first decision selects directly.
+  EXPECT_EQ(c.decide(obs_at(100.0, {0, 30}, {0, 0})), 2);
+}
+
+TEST(UtilBp, TransitionCountStaysBoundedUnderAlternatingLoad) {
+  // Hysteresis property: feeding the controller an alternating-but-balanced
+  // load must not produce an amber every mini-slot.
+  UtilBpController c(two_phase_plan(), paper_config());
+  int ambers = 0;
+  net::PhaseIndex prev = net::kTransitionPhase;
+  for (int k = 0; k < 200; ++k) {
+    const int a = 10 + ((k / 3) % 2);
+    const int b = 10 + (((k + 1) / 3) % 2);
+    const auto phase = c.decide(obs_at(k, {a, b}, {0, 0}));
+    if (phase == net::kTransitionPhase && prev != net::kTransitionPhase) ++ambers;
+    prev = phase;
+  }
+  // Both phases always have positive pressure, so the keep-rule must hold
+  // the first selected phase forever: zero transitions.
+  EXPECT_EQ(ambers, 0);
+}
+
+class UtilBpAmberSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(UtilBpAmberSweep, AmberLastsExactlyDeltaK) {
+  const double amber = GetParam();
+  UtilBpConfig cfg = paper_config();
+  cfg.amber_duration_s = amber;
+  UtilBpController c(two_phase_plan(), cfg);
+  EXPECT_EQ(c.decide(obs_at(0.0, {10, 0}, {0, 0})), 1);
+  EXPECT_EQ(c.decide(obs_at(1.0, {0, 30}, {0, 0})), net::kTransitionPhase);
+  // Probe just before and at expiry (decisions every 0.5 s).
+  for (double t = 1.5; t < 1.0 + amber - 1e-9; t += 0.5) {
+    EXPECT_EQ(c.decide(obs_at(t, {0, 30}, {0, 0})), net::kTransitionPhase) << t;
+  }
+  EXPECT_EQ(c.decide(obs_at(1.0 + amber, {0, 30}, {0, 0})), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AmberDurations, UtilBpAmberSweep,
+                         ::testing::Values(1.0, 2.0, 4.0, 6.0, 8.0));
+
+}  // namespace
+}  // namespace abp::core

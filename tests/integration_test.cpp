@@ -1,0 +1,127 @@
+// Cross-module integration tests: the paper's qualitative claims on short
+// (CI-friendly) runs of the full 3x3 scenario.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/scenario/scenario.hpp"
+
+namespace abp {
+namespace {
+
+stats::RunResult run(traffic::PatternKind pattern, core::ControllerType type,
+                     double duration, scenario::SimulatorKind sim,
+                     double period = 16.0, std::uint64_t seed = 2020) {
+  scenario::ScenarioConfig cfg = scenario::paper_scenario(pattern, type, period);
+  cfg.duration_s = duration;
+  cfg.seed = seed;
+  cfg.simulator = sim;
+  return scenario::run_scenario(cfg);
+}
+
+TEST(Integration, UtilBpBeatsFixedTimeOnUniformTraffic) {
+  // Robust ordering claim: adaptive back-pressure must clearly beat a blind
+  // fixed-time plan on the uniform pattern.
+  const auto util = run(traffic::PatternKind::II, core::ControllerType::UtilBp, 1800.0,
+                        scenario::SimulatorKind::Micro);
+  const auto fixed = run(traffic::PatternKind::II, core::ControllerType::FixedTime, 1800.0,
+                         scenario::SimulatorKind::Micro);
+  EXPECT_LT(util.metrics.average_queuing_time_s(),
+            0.7 * fixed.metrics.average_queuing_time_s());
+}
+
+TEST(Integration, UtilBpBeatsCapBpAtDefaultPeriod) {
+  // The headline Table-III ordering at the default CAP-BP period, on a short
+  // Pattern-I run. The margin vs the *optimal* period is established by the
+  // full bench (bench_table3_patterns); here we lock in the ordering.
+  const auto util = run(traffic::PatternKind::I, core::ControllerType::UtilBp, 1800.0,
+                        scenario::SimulatorKind::Micro);
+  const auto cap = run(traffic::PatternKind::I, core::ControllerType::CapBp, 1800.0,
+                       scenario::SimulatorKind::Micro);
+  EXPECT_LT(util.metrics.average_queuing_time_s(), cap.metrics.average_queuing_time_s());
+}
+
+TEST(Integration, OriginalBpCongestsUnderLoad) {
+  // Section IV / [4]: the original policy is not work-conserving and jams.
+  const auto orig = run(traffic::PatternKind::I, core::ControllerType::OriginalBp, 1800.0,
+                        scenario::SimulatorKind::Micro);
+  const auto cap = run(traffic::PatternKind::I, core::ControllerType::CapBp, 1800.0,
+                       scenario::SimulatorKind::Micro);
+  EXPECT_LT(cap.metrics.in_network_at_end, orig.metrics.in_network_at_end);
+  EXPECT_GT(orig.metrics.average_queuing_time_s(),
+            2.0 * cap.metrics.average_queuing_time_s());
+}
+
+TEST(Integration, QueueModelAgreesOnOrdering) {
+  // The Section-II queueing model must reproduce the UTIL-BP < FIXED-TIME
+  // ordering (model-level cross-check, bench A4).
+  const auto util = run(traffic::PatternKind::II, core::ControllerType::UtilBp, 1800.0,
+                        scenario::SimulatorKind::Queue);
+  const auto fixed = run(traffic::PatternKind::II, core::ControllerType::FixedTime, 1800.0,
+                         scenario::SimulatorKind::Queue);
+  EXPECT_LT(util.metrics.average_queuing_time_s(), fixed.metrics.average_queuing_time_s());
+}
+
+TEST(Integration, UtilBpPhasesAreVaryingLength) {
+  // Fig. 4's qualitative property: phase durations vary; a fixed-time plan's
+  // do not. Compare coefficient of variation of control-phase durations.
+  const auto util = run(traffic::PatternKind::I, core::ControllerType::UtilBp, 1800.0,
+                        scenario::SimulatorKind::Micro);
+  const auto durations = util.phase_traces[2].control_phase_durations();
+  ASSERT_GT(durations.size(), 10u);
+  double mean = 0.0;
+  for (double d : durations) mean += d;
+  mean /= static_cast<double>(durations.size());
+  double var = 0.0;
+  for (double d : durations) var += (d - mean) * (d - mean);
+  var /= static_cast<double>(durations.size());
+  EXPECT_GT(std::sqrt(var) / mean, 0.3);
+
+  const auto fixed = run(traffic::PatternKind::I, core::ControllerType::FixedTime, 1800.0,
+                         scenario::SimulatorKind::Micro);
+  const auto fixed_durations = fixed.phase_traces[2].control_phase_durations();
+  ASSERT_GT(fixed_durations.size(), 10u);
+  // The run's end may truncate the last green; all others are identical.
+  for (std::size_t i = 0; i + 1 < fixed_durations.size(); ++i) {
+    EXPECT_NEAR(fixed_durations[i], fixed_durations.front(), 1.0);
+  }
+}
+
+TEST(Integration, HeavierTrafficMeansLongerQueues) {
+  // Sanity: scaling arrivals up must not reduce queuing time (UTIL-BP).
+  const auto base = run(traffic::PatternKind::II, core::ControllerType::UtilBp, 1200.0,
+                        scenario::SimulatorKind::Micro);
+  scenario::ScenarioConfig heavy_cfg =
+      scenario::paper_scenario(traffic::PatternKind::II, core::ControllerType::UtilBp);
+  heavy_cfg.duration_s = 1200.0;
+  heavy_cfg.seed = 2020;
+  heavy_cfg.demand.interarrival_scale = 0.6;
+  const auto heavy = scenario::run_scenario(heavy_cfg);
+  EXPECT_GE(heavy.metrics.average_queuing_time_s(),
+            base.metrics.average_queuing_time_s());
+}
+
+TEST(Integration, AmberFractionReflectsTransitionCount) {
+  const auto util = run(traffic::PatternKind::I, core::ControllerType::UtilBp, 1200.0,
+                        scenario::SimulatorKind::Micro);
+  for (const auto& trace : util.phase_traces) {
+    const double expected =
+        4.0 * trace.transition_count() / (trace.end_time() - trace.samples().front().time);
+    // Initial amber and quantization shift this slightly.
+    EXPECT_NEAR(trace.amber_fraction(), expected, 0.02);
+  }
+}
+
+TEST(Integration, CapBpPeriodMattersForPerformance) {
+  // Fig. 2's premise: CAP-BP performance depends on the period choice.
+  const auto p10 = run(traffic::PatternKind::I, core::ControllerType::CapBp, 1800.0,
+                       scenario::SimulatorKind::Micro, 10.0);
+  const auto p60 = run(traffic::PatternKind::I, core::ControllerType::CapBp, 1800.0,
+                       scenario::SimulatorKind::Micro, 60.0);
+  const double a = p10.metrics.average_queuing_time_s();
+  const double b = p60.metrics.average_queuing_time_s();
+  EXPECT_GT(std::abs(a - b) / std::max(a, b), 0.1);
+}
+
+}  // namespace
+}  // namespace abp

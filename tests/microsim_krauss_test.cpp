@@ -1,0 +1,143 @@
+// Tests for the Krauss car-following model: safety, stopping, speed keeping.
+#include "src/microsim/krauss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace abp::microsim {
+namespace {
+
+VehicleParams params() { return VehicleParams{}; }
+
+TEST(Krauss, ZeroGapMeansZeroSpeed) {
+  EXPECT_DOUBLE_EQ(safe_speed(0.0, 10.0, params()), 0.0);
+  EXPECT_DOUBLE_EQ(safe_speed(-5.0, 10.0, params()), 0.0);
+}
+
+TEST(Krauss, SafeSpeedGrowsWithGap) {
+  const VehicleParams p = params();
+  double prev = 0.0;
+  for (double gap = 1.0; gap <= 200.0; gap += 1.0) {
+    const double v = safe_speed(gap, 0.0, p);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Krauss, SafeSpeedGrowsWithLeaderSpeed) {
+  const VehicleParams p = params();
+  const double slow = safe_speed(10.0, 0.0, p);
+  const double fast = safe_speed(10.0, 10.0, p);
+  EXPECT_GT(fast, slow);
+}
+
+TEST(Krauss, NextSpeedRespectsSpeedLimit) {
+  const VehicleParams p = params();
+  double v = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    v = next_speed(v, 1e9, 0.0, 13.9, p, 0.5, 0.0);
+    EXPECT_LE(v, 13.9 + 1e-12);
+  }
+  EXPECT_NEAR(v, 13.9, 1e-9);
+}
+
+TEST(Krauss, AccelerationBounded) {
+  const VehicleParams p = params();
+  const double v0 = 5.0;
+  const double v1 = next_speed(v0, 1e9, 0.0, 100.0, p, 0.5, 0.0);
+  EXPECT_LE(v1 - v0, p.accel_mps2 * 0.5 + 1e-12);
+}
+
+TEST(Krauss, DawdlingReducesSpeed) {
+  const VehicleParams p = params();
+  const double crisp = next_speed(10.0, 1e9, 0.0, 13.9, p, 0.5, 0.0);
+  const double dawdled = next_speed(10.0, 1e9, 0.0, 13.9, p, 0.5, 1.0);
+  EXPECT_LT(dawdled, crisp);
+  EXPECT_NEAR(crisp - dawdled, p.sigma * p.accel_mps2 * 0.5, 1e-12);
+}
+
+TEST(Krauss, StopsBeforeStandingObstacle) {
+  // Integrate an approach to a stop line 100 m ahead: the vehicle must come
+  // to rest without ever crossing it.
+  const VehicleParams p = params();
+  const double dt = 0.5;
+  double pos = 0.0;
+  double v = 13.9;
+  for (int step = 0; step < 400; ++step) {
+    const double gap = 100.0 - pos;
+    v = next_speed(v, gap, 0.0, 13.9, p, dt, 0.0);
+    pos += v * dt;
+    ASSERT_LE(pos, 100.0 + 1e-9) << "crossed the obstacle at step " << step;
+  }
+  EXPECT_NEAR(pos, 100.0, 1.5);
+  EXPECT_NEAR(v, 0.0, 0.1);
+}
+
+class KraussFollowing : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KraussFollowing, NeverCollidesWithBrakingLeader) {
+  // Leader performs an emergency stop; a dawdling follower must never hit it.
+  const VehicleParams p = params();
+  Rng rng(GetParam());
+  const double dt = 0.5;
+  double leader_pos = 30.0, leader_v = 13.9;
+  double follower_pos = 0.0, follower_v = 13.9;
+  for (int step = 0; step < 200; ++step) {
+    // Leader brakes hard to zero.
+    leader_v = std::max(0.0, leader_v - p.decel_mps2 * dt);
+    leader_pos += leader_v * dt;
+    const double gap = leader_pos - p.length_m - follower_pos - p.min_gap_m;
+    follower_v = next_speed(follower_v, gap, leader_v, 13.9, p, dt, rng.uniform01());
+    follower_pos += follower_v * dt;
+    ASSERT_LT(follower_pos, leader_pos - p.length_m + 1e-9) << "collision at step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KraussFollowing, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class KraussPlatoon : public ::testing::TestWithParam<int> {};
+
+TEST_P(KraussPlatoon, QueueDischargeIsOrderlyAndCollisionFree) {
+  // N stopped vehicles behind a line that opens at t=0: all accelerate, none
+  // collide, ordering preserved.
+  const int n = GetParam();
+  const VehicleParams p = params();
+  Rng rng(42);
+  const double dt = 0.5;
+  std::vector<double> pos(static_cast<std::size_t>(n));
+  std::vector<double> vel(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    pos[static_cast<std::size_t>(i)] = -static_cast<double>(i) * (p.length_m + p.min_gap_m);
+  }
+  for (int step = 0; step < 240; ++step) {
+    for (int i = 0; i < n; ++i) {
+      double gap = 1e9;
+      double lv = 0.0;
+      if (i > 0) {
+        gap = pos[static_cast<std::size_t>(i - 1)] - p.length_m -
+              pos[static_cast<std::size_t>(i)] - p.min_gap_m;
+        lv = vel[static_cast<std::size_t>(i - 1)];
+      }
+      vel[static_cast<std::size_t>(i)] =
+          next_speed(vel[static_cast<std::size_t>(i)], gap, lv, 13.9, p, dt, rng.uniform01());
+      pos[static_cast<std::size_t>(i)] += vel[static_cast<std::size_t>(i)] * dt;
+    }
+    for (int i = 1; i < n; ++i) {
+      ASSERT_LT(pos[static_cast<std::size_t>(i)],
+                pos[static_cast<std::size_t>(i - 1)] - p.length_m + 1e-9)
+          << "overlap at step " << step;
+    }
+  }
+  // Everybody ends up moving.
+  for (int i = 0; i < n; ++i) {
+    EXPECT_GT(vel[static_cast<std::size_t>(i)], 1.0) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PlatoonSizes, KraussPlatoon, ::testing::Values(2, 5, 10, 20, 40));
+
+}  // namespace
+}  // namespace abp::microsim

@@ -1,0 +1,240 @@
+// Tests for the microscopic simulator: signals, service, capacity, metrics.
+#include "src/microsim/micro_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/factory.hpp"
+#include "src/net/grid.hpp"
+
+namespace abp::microsim {
+namespace {
+
+class ConstantController final : public core::SignalController {
+ public:
+  explicit ConstantController(net::PhaseIndex phase) : phase_(phase) {}
+  net::PhaseIndex decide(const core::IntersectionObservation&) override { return phase_; }
+  void reset() override {}
+  std::string name() const override { return "CONST"; }
+
+ private:
+  net::PhaseIndex phase_;
+};
+
+net::Network grid(int n = 1, int capacity = 120) {
+  net::GridConfig cfg;
+  cfg.rows = n;
+  cfg.cols = n;
+  cfg.capacity = capacity;
+  return net::build_grid(cfg);
+}
+
+std::vector<core::ControllerPtr> constant_controllers(const net::Network& net,
+                                                      net::PhaseIndex phase) {
+  std::vector<core::ControllerPtr> cs;
+  for (std::size_t i = 0; i < net.intersections().size(); ++i) {
+    cs.push_back(std::make_unique<ConstantController>(phase));
+  }
+  return cs;
+}
+
+core::ControllerSpec util_spec() {
+  core::ControllerSpec spec;
+  spec.type = core::ControllerType::UtilBp;
+  return spec;
+}
+
+traffic::DemandConfig demand_cfg(traffic::PatternKind p = traffic::PatternKind::II,
+                                 double scale = 1.0) {
+  traffic::DemandConfig cfg;
+  cfg.pattern = p;
+  cfg.interarrival_scale = scale;
+  return cfg;
+}
+
+TEST(MicroSim, VehicleConservation) {
+  const net::Network net = grid(2);
+  traffic::DemandGenerator demand(net, demand_cfg(), 5);
+  MicroSim sim(net, MicroSimConfig{}, core::make_controllers(util_spec(), net), demand, 1);
+  const stats::RunResult r = sim.finish(1200.0);
+  EXPECT_EQ(r.metrics.generated, demand.total_generated());
+  EXPECT_EQ(r.metrics.completed + r.metrics.in_network_at_end, r.metrics.entered);
+  EXPECT_GT(r.metrics.completed, 0u);
+}
+
+TEST(MicroSim, RedLightStopsEverything) {
+  const net::Network net = grid(1);
+  traffic::DemandGenerator demand(net, demand_cfg(), 7);
+  MicroSim sim(net, MicroSimConfig{}, constant_controllers(net, net::kTransitionPhase),
+               demand, 2);
+  const stats::RunResult r = sim.finish(600.0);
+  EXPECT_EQ(r.metrics.completed, 0u);
+  EXPECT_GT(r.metrics.entered, 0u);
+  // Everyone who entered piles up behind the stop lines.
+  EXPECT_EQ(r.metrics.in_network_at_end, r.metrics.entered);
+  EXPECT_GT(r.metrics.average_queuing_time_s(), 50.0);
+}
+
+TEST(MicroSim, GreenPhaseOnlyServesItsMovements) {
+  // Hold the NS-through phase: vehicles entering from the East that want to
+  // go straight can never cross; north straights flow freely.
+  const net::Network net = grid(1);
+  traffic::DemandGenerator demand(net, demand_cfg(traffic::PatternKind::II, 0.7), 11);
+  MicroSim sim(net, MicroSimConfig{}, constant_controllers(net, 1), demand, 3);
+  sim.run_until(900.0);
+  const net::Intersection& j = net.intersections().front();
+  const RoadId east_in = j.incoming_on(net::Side::East);
+  const RoadId north_in = j.incoming_on(net::Side::North);
+  const auto east_straight = net.find_link(east_in, net::Turn::Straight);
+  const auto north_straight = net.find_link(north_in, net::Turn::Straight);
+  ASSERT_TRUE(east_straight && north_straight);
+  // East straight lane backs up; north straight lane stays short.
+  EXPECT_GT(sim.lane_count(*east_straight), 10);
+  EXPECT_LT(sim.lane_count(*north_straight), 10);
+}
+
+TEST(MicroSim, NoOverlapsThroughoutRun) {
+  const net::Network net = grid(2);
+  traffic::DemandGenerator demand(net, demand_cfg(traffic::PatternKind::I), 13);
+  MicroSim sim(net, MicroSimConfig{}, core::make_controllers(util_spec(), net), demand, 5);
+  for (int t = 1; t <= 60; ++t) {
+    sim.run_until(t * 10.0);
+    ASSERT_TRUE(sim.no_overlaps()) << "overlap at t=" << t * 10;
+  }
+}
+
+TEST(MicroSim, LanePositionsStayOnRoad) {
+  const net::Network net = grid(1);
+  traffic::DemandGenerator demand(net, demand_cfg(traffic::PatternKind::I, 0.5), 17);
+  MicroSim sim(net, MicroSimConfig{}, constant_controllers(net, net::kTransitionPhase),
+               demand, 7);
+  sim.run_until(300.0);
+  for (const net::Link& l : net.links()) {
+    for (double pos : sim.lane_positions(l.id)) {
+      ASSERT_GE(pos, 0.0);
+      ASSERT_LE(pos, net.road(l.from_road).length_m);
+    }
+  }
+}
+
+TEST(MicroSim, CapacityNeverExceeded) {
+  const net::Network net = grid(1, /*capacity=*/20);
+  traffic::DemandGenerator demand(net, demand_cfg(traffic::PatternKind::I, 0.3), 19);
+  MicroSim sim(net, MicroSimConfig{}, constant_controllers(net, net::kTransitionPhase),
+               demand, 9);
+  for (int t = 1; t <= 60; ++t) {
+    sim.run_until(t * 10.0);
+    for (const net::Road& road : net.roads()) {
+      ASSERT_LE(sim.road_occupancy(road.id), road.capacity) << road.name;
+    }
+  }
+  const stats::RunResult r = sim.finish(600.0);
+  EXPECT_GT(r.metrics.entry_blocked_time_s, 0.0);
+  EXPECT_LT(r.metrics.entered, r.metrics.generated);
+}
+
+TEST(MicroSim, ServiceRateCapsDischarge) {
+  // A permanently green through phase serves at most ~mu per link; with the
+  // default mu = 1 veh/s, 4 links, 600 s -> at most ~2400 crossings, and in
+  // a 1x1 grid every completion crossed once.
+  const net::Network net = grid(1);
+  traffic::DemandConfig heavy = demand_cfg(traffic::PatternKind::I, 0.25);
+  traffic::DemandGenerator demand(net, heavy, 23);
+  MicroSim sim(net, MicroSimConfig{}, constant_controllers(net, 1), demand, 11);
+  const stats::RunResult r = sim.finish(600.0);
+  EXPECT_LE(r.metrics.completed, 2400u);
+}
+
+TEST(MicroSim, LowServiceRateHalvesDischarge) {
+  net::GridConfig gcfg;
+  gcfg.rows = 1;
+  gcfg.cols = 1;
+  gcfg.service_rate = 0.25;
+  const net::Network net = net::build_grid(gcfg);
+  traffic::DemandGenerator demand(net, demand_cfg(traffic::PatternKind::I, 0.25), 23);
+  MicroSim sim(net, MicroSimConfig{}, constant_controllers(net, 1), demand, 11);
+  const stats::RunResult r = sim.finish(600.0);
+  // 4 links * 0.25 veh/s * 600 s = 600 crossings max.
+  EXPECT_LE(r.metrics.completed, 600u);
+  EXPECT_GT(r.metrics.completed, 200u);
+}
+
+TEST(MicroSim, FreeFlowTravelTimeReasonable) {
+  // Nearly empty network with an adaptive controller: travel time close to
+  // the 2-road free-flow time plus junction crossing.
+  const net::Network net = grid(1);
+  traffic::DemandGenerator demand(net, demand_cfg(traffic::PatternKind::II, 20.0), 29);
+  MicroSim sim(net, MicroSimConfig{}, core::make_controllers(util_spec(), net), demand, 13);
+  const stats::RunResult r = sim.finish(1800.0);
+  ASSERT_GT(r.metrics.completed, 5u);
+  const double free_flow = 2.0 * (220.0 / 13.9) + 2.0;
+  EXPECT_LT(r.metrics.average_travel_time_s(), free_flow * 2.0);
+  EXPECT_GT(r.metrics.average_travel_time_s(), free_flow * 0.8);
+}
+
+TEST(MicroSim, DeterministicReplay) {
+  const net::Network net = grid(2);
+  auto run_once = [&]() {
+    traffic::DemandGenerator demand(net, demand_cfg(traffic::PatternKind::III), 31);
+    MicroSim sim(net, MicroSimConfig{}, core::make_controllers(util_spec(), net), demand, 15);
+    return sim.finish(600.0);
+  };
+  const stats::RunResult a = run_once();
+  const stats::RunResult b = run_once();
+  EXPECT_EQ(a.metrics.completed, b.metrics.completed);
+  EXPECT_DOUBLE_EQ(a.metrics.average_queuing_time_s(), b.metrics.average_queuing_time_s());
+}
+
+TEST(MicroSim, SeedChangesOutcome) {
+  const net::Network net = grid(1);
+  auto run_with_seed = [&](std::uint64_t seed) {
+    traffic::DemandGenerator demand(net, demand_cfg(), seed);
+    MicroSim sim(net, MicroSimConfig{}, core::make_controllers(util_spec(), net), demand,
+                 seed + 1);
+    return sim.finish(600.0).metrics.completed;
+  };
+  EXPECT_NE(run_with_seed(1), run_with_seed(99));
+}
+
+TEST(MicroSim, WatchesAndTracesProduced) {
+  const net::Network net = grid(1);
+  traffic::DemandGenerator demand(net, demand_cfg(), 37);
+  MicroSim sim(net, MicroSimConfig{}, core::make_controllers(util_spec(), net), demand, 17);
+  sim.watch_road(net.intersections().front().incoming_on(net::Side::East), "east");
+  const stats::RunResult r = sim.finish(600.0);
+  ASSERT_EQ(r.road_series.size(), 1u);
+  EXPECT_GT(r.road_series[0].size(), 50u);
+  ASSERT_EQ(r.phase_traces.size(), 1u);
+  EXPECT_GT(r.phase_traces[0].samples().size(), 1u);
+}
+
+TEST(MicroSim, AmberClearsJunctionBeforeNewPhase) {
+  // With UTIL-BP, whenever the displayed phase changes between two control
+  // phases, a transition display must appear in between.
+  const net::Network net = grid(1);
+  traffic::DemandGenerator demand(net, demand_cfg(traffic::PatternKind::I), 41);
+  MicroSim sim(net, MicroSimConfig{}, core::make_controllers(util_spec(), net), demand, 19);
+  const stats::RunResult r = sim.finish(900.0);
+  const auto& samples = r.phase_traces[0].samples();
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    if (samples[i - 1].phase != net::kTransitionPhase &&
+        samples[i].phase != net::kTransitionPhase) {
+      ADD_FAILURE() << "direct phase change " << samples[i - 1].phase << " -> "
+                    << samples[i].phase << " at t=" << samples[i].time;
+    }
+  }
+}
+
+TEST(MicroSim, RejectsBadConstruction) {
+  const net::Network net = grid(1);
+  traffic::DemandGenerator demand(net, demand_cfg(), 1);
+  EXPECT_THROW(MicroSim(net, MicroSimConfig{.dt_s = 0.0},
+                        core::make_controllers(util_spec(), net), demand, 1),
+               std::invalid_argument);
+  EXPECT_THROW(MicroSim(net, MicroSimConfig{.dt_s = 2.0, .control_interval_s = 1.0},
+                        core::make_controllers(util_spec(), net), demand, 1),
+               std::invalid_argument);
+  EXPECT_THROW(MicroSim(net, MicroSimConfig{}, {}, demand, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace abp::microsim

@@ -1,0 +1,151 @@
+// Tests for junction geometry: sides, turns, handedness, conflicts.
+#include "src/net/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace abp::net {
+namespace {
+
+TEST(Geometry, OppositeIsInvolution) {
+  for (Side s : kAllSides) {
+    EXPECT_NE(opposite(s), s);
+    EXPECT_EQ(opposite(opposite(s)), s);
+  }
+}
+
+TEST(Geometry, ExitSideKnownCases) {
+  // A vehicle from the North heads South: left exits East, right exits West.
+  EXPECT_EQ(exit_side(Side::North, Turn::Straight), Side::South);
+  EXPECT_EQ(exit_side(Side::North, Turn::Left), Side::East);
+  EXPECT_EQ(exit_side(Side::North, Turn::Right), Side::West);
+  // A vehicle from the East heads West: left exits South, right exits North.
+  EXPECT_EQ(exit_side(Side::East, Turn::Straight), Side::West);
+  EXPECT_EQ(exit_side(Side::East, Turn::Left), Side::South);
+  EXPECT_EQ(exit_side(Side::East, Turn::Right), Side::North);
+}
+
+TEST(Geometry, ExitSideNeverReturnsEntrySide) {
+  for (Side s : kAllSides) {
+    for (Turn t : kAllTurns) {
+      EXPECT_NE(exit_side(s, t), s);
+    }
+  }
+}
+
+class GeometryRoundTrip : public ::testing::TestWithParam<std::tuple<Side, Turn>> {};
+
+TEST_P(GeometryRoundTrip, TurnBetweenInvertsExitSide) {
+  const auto [from, turn] = GetParam();
+  const Side to = exit_side(from, turn);
+  EXPECT_EQ(turn_between(from, to), turn);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSideTurnPairs, GeometryRoundTrip,
+    ::testing::Combine(::testing::ValuesIn(kAllSides), ::testing::ValuesIn(kAllTurns)));
+
+TEST(Geometry, HandednessTurns) {
+  EXPECT_EQ(easy_turn(Handedness::LeftHand), Turn::Left);
+  EXPECT_EQ(crossing_turn(Handedness::LeftHand), Turn::Right);
+  EXPECT_EQ(easy_turn(Handedness::RightHand), Turn::Right);
+  EXPECT_EQ(crossing_turn(Handedness::RightHand), Turn::Left);
+}
+
+TEST(Geometry, Names) {
+  EXPECT_EQ(side_name(Side::North), "N");
+  EXPECT_EQ(side_name(Side::West), "W");
+  EXPECT_EQ(turn_name(Turn::Straight), "straight");
+}
+
+TEST(Compatibility, SameApproachAlwaysCompatible) {
+  for (Side s : kAllSides) {
+    for (Turn a : kAllTurns) {
+      for (Turn b : kAllTurns) {
+        EXPECT_TRUE(movements_compatible(s, a, s, b, Handedness::LeftHand));
+        EXPECT_TRUE(movements_compatible(s, a, s, b, Handedness::RightHand));
+      }
+    }
+  }
+}
+
+TEST(Compatibility, PerpendicularAlwaysConflicts) {
+  for (Turn a : kAllTurns) {
+    for (Turn b : kAllTurns) {
+      EXPECT_FALSE(movements_compatible(Side::North, a, Side::East, b, Handedness::LeftHand));
+      EXPECT_FALSE(movements_compatible(Side::South, a, Side::West, b, Handedness::LeftHand));
+    }
+  }
+}
+
+TEST(Compatibility, OpposingStraightsCompatible) {
+  EXPECT_TRUE(movements_compatible(Side::North, Turn::Straight, Side::South, Turn::Straight,
+                                   Handedness::LeftHand));
+  EXPECT_TRUE(movements_compatible(Side::East, Turn::Straight, Side::West, Turn::Straight,
+                                   Handedness::RightHand));
+}
+
+TEST(Compatibility, OpposingEasyTurnsCompatible) {
+  // Left-hand traffic: left is the kerb-hugging turn.
+  EXPECT_TRUE(movements_compatible(Side::North, Turn::Left, Side::South, Turn::Left,
+                                   Handedness::LeftHand));
+  EXPECT_TRUE(movements_compatible(Side::North, Turn::Left, Side::South, Turn::Straight,
+                                   Handedness::LeftHand));
+}
+
+TEST(Compatibility, CrossingTurnAgainstOpposingThroughConflicts) {
+  // Left-hand traffic: the right turn crosses opposing straights.
+  EXPECT_FALSE(movements_compatible(Side::North, Turn::Right, Side::South, Turn::Straight,
+                                    Handedness::LeftHand));
+  EXPECT_FALSE(movements_compatible(Side::South, Turn::Straight, Side::North, Turn::Right,
+                                    Handedness::LeftHand));
+  EXPECT_FALSE(movements_compatible(Side::North, Turn::Right, Side::South, Turn::Left,
+                                    Handedness::LeftHand));
+  // Right-hand traffic mirrors this with the left turn.
+  EXPECT_FALSE(movements_compatible(Side::North, Turn::Left, Side::South, Turn::Straight,
+                                    Handedness::RightHand));
+}
+
+TEST(Compatibility, DualProtectedArrowsCompatible) {
+  EXPECT_TRUE(movements_compatible(Side::North, Turn::Right, Side::South, Turn::Right,
+                                   Handedness::LeftHand));
+  EXPECT_TRUE(movements_compatible(Side::East, Turn::Left, Side::West, Turn::Left,
+                                   Handedness::RightHand));
+}
+
+TEST(Compatibility, IsSymmetric) {
+  for (Side sa : kAllSides) {
+    for (Side sb : kAllSides) {
+      for (Turn ta : kAllTurns) {
+        for (Turn tb : kAllTurns) {
+          for (Handedness h : {Handedness::LeftHand, Handedness::RightHand}) {
+            EXPECT_EQ(movements_compatible(sa, ta, sb, tb, h),
+                      movements_compatible(sb, tb, sa, ta, h))
+                << side_name(sa) << turn_name(ta) << " vs " << side_name(sb) << turn_name(tb);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Compatibility, PaperPhaseTableIsConflictFree) {
+  // Fig. 1: c1 = {N-left, N-straight, S-straight, S-left},
+  //         c2 = {N-right, S-right} in left-hand traffic.
+  const Handedness h = Handedness::LeftHand;
+  const std::pair<Side, Turn> c1[] = {{Side::North, Turn::Left},
+                                      {Side::North, Turn::Straight},
+                                      {Side::South, Turn::Straight},
+                                      {Side::South, Turn::Left}};
+  for (const auto& a : c1) {
+    for (const auto& b : c1) {
+      EXPECT_TRUE(movements_compatible(a.first, a.second, b.first, b.second, h));
+    }
+  }
+  EXPECT_TRUE(
+      movements_compatible(Side::North, Turn::Right, Side::South, Turn::Right, h));
+}
+
+}  // namespace
+}  // namespace abp::net

@@ -1,0 +1,158 @@
+// Tests for the grid builder: the paper's 3x3 evaluation topology.
+#include "src/net/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "src/net/validation.hpp"
+
+namespace abp::net {
+namespace {
+
+GridConfig paper_grid() { return GridConfig{}; }
+
+TEST(Grid, PaperGridCounts) {
+  const Network net = build_grid(paper_grid());
+  EXPECT_EQ(net.intersections().size(), 9u);
+  // Internal: 12 adjacent junction pairs * 2 directions = 24.
+  // Boundary: 12 approaches * (entry + exit) = 24.
+  EXPECT_EQ(net.roads().size(), 48u);
+  EXPECT_EQ(net.entry_roads().size(), 12u);
+  EXPECT_EQ(net.exit_roads().size(), 12u);
+  // Every junction has four approaches -> 12 movements each.
+  EXPECT_EQ(net.links().size(), 9u * 12u);
+}
+
+TEST(Grid, PaperGridValidates) {
+  const Network net = build_grid(paper_grid());
+  const auto problems = validate(net);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(Grid, EveryJunctionHasFigureOnePhases) {
+  const Network net = build_grid(paper_grid());
+  for (const Intersection& node : net.intersections()) {
+    ASSERT_EQ(node.phases.size(), 5u) << node.name;
+    EXPECT_TRUE(node.phases[0].is_transition());
+    EXPECT_EQ(node.phases[1].links.size(), 4u);
+    EXPECT_EQ(node.phases[2].links.size(), 2u);
+    EXPECT_EQ(node.phases[3].links.size(), 4u);
+    EXPECT_EQ(node.phases[4].links.size(), 2u);
+    EXPECT_EQ(node.links.size(), 12u);
+  }
+}
+
+TEST(Grid, ThreeEntriesPerBoundarySide) {
+  const Network net = build_grid(paper_grid());
+  for (Side s : kAllSides) {
+    EXPECT_EQ(net.entry_roads_on(s).size(), 3u) << side_name(s);
+  }
+}
+
+TEST(Grid, AtGridResolvesAllCoordinates) {
+  const Network net = build_grid(paper_grid());
+  std::set<IntersectionId> seen;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      const auto id = net.at_grid(r, c);
+      ASSERT_TRUE(id.has_value());
+      seen.insert(*id);
+      EXPECT_EQ(net.intersection(*id).grid_row, r);
+      EXPECT_EQ(net.intersection(*id).grid_col, c);
+    }
+  }
+  EXPECT_EQ(seen.size(), 9u);
+  EXPECT_FALSE(net.at_grid(3, 0).has_value());
+  EXPECT_FALSE(net.at_grid(-1, 0).has_value());
+}
+
+TEST(Grid, InternalRoadsConnectAdjacentJunctions) {
+  const Network net = build_grid(paper_grid());
+  const IntersectionId a = *net.at_grid(0, 0);
+  const IntersectionId b = *net.at_grid(0, 1);
+  // The eastward road out of (0,0) must arrive at (0,1) on its West side.
+  const RoadId east = net.intersection(a).outgoing_on(Side::East);
+  ASSERT_TRUE(east.valid());
+  EXPECT_EQ(net.road(east).to, b);
+  EXPECT_EQ(net.road(east).arrival_side, Side::West);
+  // And symmetrically back.
+  const RoadId west = net.intersection(b).outgoing_on(Side::West);
+  ASSERT_TRUE(west.valid());
+  EXPECT_EQ(net.road(west).to, a);
+}
+
+TEST(Grid, TopRightJunctionHasNorthAndEastEntries) {
+  // The paper's Fig. 3-5 junction: row 0, col 2.
+  const Network net = build_grid(paper_grid());
+  const Intersection& j = net.intersection(*net.at_grid(0, 2));
+  const Road& north_in = net.road(j.incoming_on(Side::North));
+  const Road& east_in = net.road(j.incoming_on(Side::East));
+  EXPECT_TRUE(north_in.is_entry());
+  EXPECT_TRUE(east_in.is_entry());
+  EXPECT_FALSE(net.road(j.incoming_on(Side::West)).is_entry());
+  EXPECT_FALSE(net.road(j.incoming_on(Side::South)).is_entry());
+}
+
+TEST(Grid, ConfigPropagates) {
+  GridConfig cfg;
+  cfg.capacity = 60;
+  cfg.road_length_m = 150.0;
+  cfg.boundary_length_m = 300.0;
+  cfg.service_rate = 0.5;
+  const Network net = build_grid(cfg);
+  for (const Road& r : net.roads()) {
+    EXPECT_EQ(r.capacity, 60);
+    if (r.is_entry() || r.is_exit()) {
+      EXPECT_DOUBLE_EQ(r.length_m, 300.0);
+    } else {
+      EXPECT_DOUBLE_EQ(r.length_m, 150.0);
+    }
+  }
+  for (const Link& l : net.links()) {
+    EXPECT_DOUBLE_EQ(l.service_rate, 0.5);
+  }
+}
+
+TEST(Grid, RejectsNonPositiveDimensions) {
+  GridConfig cfg;
+  cfg.rows = 0;
+  EXPECT_THROW(build_grid(cfg), std::invalid_argument);
+  cfg.rows = 3;
+  cfg.cols = -1;
+  EXPECT_THROW(build_grid(cfg), std::invalid_argument);
+}
+
+TEST(Grid, RightHandTrafficValidatesToo) {
+  GridConfig cfg;
+  cfg.handedness = Handedness::RightHand;
+  const Network net = build_grid(cfg);
+  const auto problems = validate(net);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+class GridSizes : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GridSizes, CountsScaleWithDimensions) {
+  const auto [rows, cols] = GetParam();
+  GridConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  const Network net = build_grid(cfg);
+  EXPECT_EQ(net.intersections().size(), static_cast<std::size_t>(rows * cols));
+  const int internal_pairs = rows * (cols - 1) + cols * (rows - 1);
+  const int boundary = 2 * rows + 2 * cols;
+  EXPECT_EQ(net.roads().size(), static_cast<std::size_t>(2 * internal_pairs + 2 * boundary));
+  EXPECT_EQ(net.entry_roads().size(), static_cast<std::size_t>(boundary));
+  EXPECT_EQ(net.exit_roads().size(), static_cast<std::size_t>(boundary));
+  EXPECT_TRUE(validate(net).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, GridSizes,
+                         ::testing::Values(std::make_tuple(1, 1), std::make_tuple(1, 3),
+                                           std::make_tuple(2, 2), std::make_tuple(3, 3),
+                                           std::make_tuple(4, 2), std::make_tuple(5, 5)));
+
+}  // namespace
+}  // namespace abp::net

@@ -1,0 +1,227 @@
+// Paper-statement invariants checked end-to-end on both simulators.
+//
+// These tests pin the claims of Sections II-IV directly against running
+// systems rather than unit-level stubs: Eq. (1)'s queue identity, the
+// beta-rule's full-road avoidance, and the bounded-wasted-time argument of
+// Section IV Q3.
+#include <gtest/gtest.h>
+
+#include "src/core/controller.hpp"
+#include "src/core/factory.hpp"
+#include "src/microsim/micro_sim.hpp"
+#include "src/net/grid.hpp"
+#include "src/queuesim/queue_sim.hpp"
+
+namespace abp {
+namespace {
+
+// Records every observation passed to an inner controller (test shim).
+class ObservingController final : public core::SignalController {
+ public:
+  ObservingController(core::ControllerPtr inner,
+                      std::vector<core::IntersectionObservation>* sink)
+      : inner_(std::move(inner)), sink_(sink) {}
+  net::PhaseIndex decide(const core::IntersectionObservation& obs) override {
+    if (sink_->size() < 5000) sink_->push_back(obs);
+    return inner_->decide(obs);
+  }
+  void reset() override { inner_->reset(); }
+  std::string name() const override { return inner_->name(); }
+
+ private:
+  core::ControllerPtr inner_;
+  std::vector<core::IntersectionObservation>* sink_;
+};
+
+net::Network grid1() {
+  net::GridConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 1;
+  return net::build_grid(cfg);
+}
+
+core::ControllerSpec util_spec() {
+  core::ControllerSpec spec;
+  spec.type = core::ControllerType::UtilBp;
+  return spec;
+}
+
+// Eq. (1): the road total q_i equals the sum of its per-movement queues
+// q_i^{i'} in every observation either simulator produces.
+template <typename SimFactory>
+void check_eq1(const net::Network& net, SimFactory make_sim) {
+  std::vector<core::IntersectionObservation> seen;
+  std::vector<core::ControllerPtr> controllers;
+  controllers.push_back(std::make_unique<ObservingController>(
+      core::make_controller(util_spec(), core::make_plan(net, net.intersections().front())),
+      &seen));
+  auto sim = make_sim(std::move(controllers));
+  sim->finish(600.0);
+  ASSERT_GT(seen.size(), 100u);
+  // Group links by from-road via the intersection's link list.
+  const net::Intersection& node = net.intersections().front();
+  for (const core::IntersectionObservation& obs : seen) {
+    for (net::Side side : net::kAllSides) {
+      const RoadId road = node.incoming_on(side);
+      int per_link_sum = 0;
+      int road_total = -1;
+      for (std::size_t i = 0; i < node.links.size(); ++i) {
+        const net::Link& l = net.link(node.links[i]);
+        if (l.from_road != road) continue;
+        per_link_sum += obs.links[i].queue;
+        road_total = obs.links[i].upstream_total;
+      }
+      ASSERT_EQ(per_link_sum, road_total)
+          << "Eq. (1) violated on side " << net::side_name(side) << " at t=" << obs.time;
+    }
+  }
+}
+
+TEST(PaperInvariants, Eq1HoldsInQueueSim) {
+  const net::Network net = grid1();
+  traffic::DemandConfig dcfg;
+  dcfg.pattern = traffic::PatternKind::I;
+  traffic::DemandGenerator demand(net, dcfg, 3);
+  check_eq1(net, [&](std::vector<core::ControllerPtr> cs) {
+    return std::make_unique<queuesim::QueueSim>(net, queuesim::QueueSimConfig{},
+                                                std::move(cs), demand);
+  });
+}
+
+TEST(PaperInvariants, Eq1HoldsInMicroSim) {
+  const net::Network net = grid1();
+  traffic::DemandConfig dcfg;
+  dcfg.pattern = traffic::PatternKind::I;
+  traffic::DemandGenerator demand(net, dcfg, 5);
+  check_eq1(net, [&](std::vector<core::ControllerPtr> cs) {
+    return std::make_unique<microsim::MicroSim>(net, microsim::MicroSimConfig{},
+                                                std::move(cs), demand, 7);
+  });
+}
+
+TEST(PaperInvariants, CapacityIsHardEverywhereUnderPressure) {
+  // Section II: "When W_i is reached, no vehicles are able to enter N_i" —
+  // checked network-wide on the 3x3 grid under 3x Pattern-I overload with
+  // tiny capacities, for both simulators.
+  net::GridConfig gcfg;
+  gcfg.capacity = 15;
+  const net::Network net = net::build_grid(gcfg);
+  traffic::DemandConfig dcfg;
+  dcfg.pattern = traffic::PatternKind::I;
+  dcfg.interarrival_scale = 1.0 / 3.0;
+  {
+    traffic::DemandGenerator demand(net, dcfg, 11);
+    queuesim::QueueSim sim(net, queuesim::QueueSimConfig{},
+                           core::make_controllers(util_spec(), net), demand);
+    for (int t = 1; t <= 30; ++t) {
+      sim.run_until(t * 30.0);
+      for (const net::Road& r : net.roads()) {
+        ASSERT_LE(sim.road_occupancy(r.id), r.capacity) << "queuesim " << r.name;
+      }
+    }
+  }
+  {
+    traffic::DemandGenerator demand(net, dcfg, 13);
+    microsim::MicroSim sim(net, microsim::MicroSimConfig{},
+                           core::make_controllers(util_spec(), net), demand, 17);
+    for (int t = 1; t <= 30; ++t) {
+      sim.run_until(t * 30.0);
+      for (const net::Road& r : net.roads()) {
+        ASSERT_LE(sim.road_occupancy(r.id), r.capacity) << "microsim " << r.name;
+      }
+    }
+  }
+}
+
+TEST(PaperInvariants, BetaRuleStopsServiceIntoFullRoads) {
+  // Drive one outgoing road to capacity in the queueing model and verify
+  // UTIL-BP's junction never transfers a vehicle into it while it is full.
+  // The internal road from J(0,0) to J(0,1) fills when J(0,1) stays red.
+  net::GridConfig gcfg;
+  gcfg.rows = 1;
+  gcfg.cols = 2;
+  gcfg.capacity = 12;
+  const net::Network net = net::build_grid(gcfg);
+  traffic::DemandConfig dcfg;
+  dcfg.pattern = traffic::PatternKind::II;
+  dcfg.interarrival_scale = 0.3;
+  traffic::DemandGenerator demand(net, dcfg, 19);
+
+  // J(0,0): UTIL-BP; J(0,1): permanently all-red so its roads jam.
+  class AllRed final : public core::SignalController {
+   public:
+    net::PhaseIndex decide(const core::IntersectionObservation&) override {
+      return net::kTransitionPhase;
+    }
+    void reset() override {}
+    std::string name() const override { return "ALL-RED"; }
+  };
+  std::vector<core::ControllerPtr> controllers;
+  controllers.push_back(core::make_controller(
+      util_spec(), core::make_plan(net, net.intersections()[0])));
+  controllers.push_back(std::make_unique<AllRed>());
+
+  queuesim::QueueSim sim(net, queuesim::QueueSimConfig{}, std::move(controllers), demand);
+  const net::Intersection& j00 = net.intersections()[0];
+  const RoadId middle = j00.outgoing_on(net::Side::East);
+  ASSERT_TRUE(middle.valid());
+
+  int prev_occupancy = 0;
+  bool was_full = false;
+  for (int t = 1; t <= 600; ++t) {
+    sim.run_until(static_cast<double>(t));
+    const int occupancy = sim.road_occupancy(middle);
+    if (was_full) {
+      // Nothing can have been added while full (it can only drain, and with
+      // the downstream junction all-red it cannot even do that).
+      ASSERT_LE(occupancy, prev_occupancy) << "t=" << t;
+    }
+    was_full = (occupancy >= 12);
+    prev_occupancy = occupancy;
+  }
+  EXPECT_TRUE(was_full) << "test setup never filled the middle road";
+}
+
+TEST(PaperInvariants, WastedTimeBoundedByMiniSlotNotSlot) {
+  // Section IV Q3(i): when every movement of the displayed phase is blocked,
+  // the adaptive policy reacts within about one mini-slot (plus amber),
+  // whereas a fixed-length policy waits for its slot boundary. We measure
+  // the reaction delay of UTIL-BP directly: feed a two-phase junction a
+  // state where the active phase just went fully blocked and count decisions
+  // until the display changes.
+  core::IntersectionPlan plan;
+  plan.num_links = 2;
+  plan.phases = {{}, {0}, {1}};
+  core::UtilBpConfig cfg;
+  core::UtilBpController controller(plan, cfg);
+
+  auto obs = [&](double t, int q0, int down0, int full0, int q1) {
+    core::IntersectionObservation o;
+    o.time = t;
+    core::LinkState a;
+    a.queue = q0;
+    a.upstream_total = q0;
+    a.downstream_queue = down0;
+    a.downstream_total = full0;
+    a.downstream_capacity = 120;
+    a.upstream_capacity = 120;
+    core::LinkState b = a;
+    b.queue = q1;
+    b.upstream_total = q1;
+    b.downstream_queue = 0;
+    b.downstream_total = 0;
+    o.links = {a, b};
+    return o;
+  };
+
+  // Healthy phase 1.
+  ASSERT_EQ(controller.decide(obs(0.0, 20, 0, 0, 5)), 1);
+  // Its outgoing road slams full; phase 2 has demand. The controller must
+  // leave phase 1 at the very next mini-slot (entering amber).
+  ASSERT_EQ(controller.decide(obs(1.0, 20, 110, 120, 5)), net::kTransitionPhase);
+  // ...and display phase 2 right after the amber expires.
+  ASSERT_EQ(controller.decide(obs(5.0, 20, 110, 120, 5)), 2);
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,237 @@
+// Tests for the discrete-time queueing-network simulator (the Section-II
+// model): conservation, capacity safety, service rates and work conservation.
+#include "src/queuesim/queue_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/factory.hpp"
+#include "src/net/grid.hpp"
+
+namespace abp::queuesim {
+namespace {
+
+// Controller that always displays one fixed phase (test instrument).
+class ConstantController final : public core::SignalController {
+ public:
+  explicit ConstantController(net::PhaseIndex phase) : phase_(phase) {}
+  net::PhaseIndex decide(const core::IntersectionObservation&) override { return phase_; }
+  void reset() override {}
+  std::string name() const override { return "CONST"; }
+
+ private:
+  net::PhaseIndex phase_;
+};
+
+net::Network grid(int n = 1) {
+  net::GridConfig cfg;
+  cfg.rows = n;
+  cfg.cols = n;
+  return net::build_grid(cfg);
+}
+
+std::vector<core::ControllerPtr> constant_controllers(const net::Network& net,
+                                                      net::PhaseIndex phase) {
+  std::vector<core::ControllerPtr> cs;
+  for (std::size_t i = 0; i < net.intersections().size(); ++i) {
+    cs.push_back(std::make_unique<ConstantController>(phase));
+  }
+  return cs;
+}
+
+core::ControllerSpec util_spec() {
+  core::ControllerSpec spec;
+  spec.type = core::ControllerType::UtilBp;
+  return spec;
+}
+
+traffic::DemandConfig demand_cfg(traffic::PatternKind p = traffic::PatternKind::II) {
+  traffic::DemandConfig cfg;
+  cfg.pattern = p;
+  return cfg;
+}
+
+TEST(QueueSim, VehicleConservation) {
+  const net::Network net = grid(2);
+  traffic::DemandGenerator demand(net, demand_cfg(), 5);
+  QueueSim sim(net, QueueSimConfig{}, core::make_controllers(util_spec(), net), demand);
+  const stats::RunResult r = sim.finish(1800.0);
+  EXPECT_EQ(r.metrics.generated, demand.total_generated());
+  EXPECT_EQ(r.metrics.completed + r.metrics.in_network_at_end, r.metrics.entered);
+  EXPECT_LE(r.metrics.entered, r.metrics.generated);
+  EXPECT_GT(r.metrics.completed, 0u);
+}
+
+TEST(QueueSim, AllRedServesNothing) {
+  const net::Network net = grid(1);
+  traffic::DemandGenerator demand(net, demand_cfg(), 5);
+  QueueSim sim(net, QueueSimConfig{}, constant_controllers(net, net::kTransitionPhase),
+               demand);
+  const stats::RunResult r = sim.finish(600.0);
+  EXPECT_EQ(r.metrics.completed, 0u);
+  EXPECT_GT(r.metrics.entered, 0u);
+  EXPECT_EQ(r.metrics.in_network_at_end, r.metrics.entered);
+}
+
+TEST(QueueSim, CapacityNeverExceeded) {
+  // Heavy traffic into an all-red junction: entry roads must saturate at W
+  // and never exceed it.
+  net::GridConfig gcfg;
+  gcfg.rows = 1;
+  gcfg.cols = 1;
+  gcfg.capacity = 25;
+  const net::Network net = net::build_grid(gcfg);
+  traffic::DemandConfig dcfg = demand_cfg(traffic::PatternKind::I);
+  dcfg.interarrival_scale = 0.2;  // 5x heavier
+  traffic::DemandGenerator demand(net, dcfg, 9);
+  QueueSim sim(net, QueueSimConfig{}, constant_controllers(net, net::kTransitionPhase),
+               demand);
+  for (int t = 1; t <= 60; ++t) {
+    sim.run_until(t * 10.0);
+    for (const net::Road& road : net.roads()) {
+      ASSERT_LE(sim.road_occupancy(road.id), road.capacity) << road.name;
+    }
+  }
+  const stats::RunResult r = sim.finish(600.0);
+  EXPECT_LT(r.metrics.entered, r.metrics.generated);  // some were blocked out
+  EXPECT_GT(r.metrics.entry_blocked_time_s, 0.0);
+}
+
+TEST(QueueSim, ServiceRateBoundsThroughput) {
+  // One junction held in the NS-through phase: each of its 4 links serves at
+  // most mu = 1 veh/s, and only vehicles on those lanes move.
+  const net::Network net = grid(1);
+  traffic::DemandConfig dcfg = demand_cfg(traffic::PatternKind::I);
+  dcfg.interarrival_scale = 0.5;
+  traffic::DemandGenerator demand(net, dcfg, 3);
+  QueueSim sim(net, QueueSimConfig{}, constant_controllers(net, 1), demand);
+  const stats::RunResult r = sim.finish(600.0);
+  // 4 links * 1 veh/s * 600 s = 2400 crossings max; every completion is one
+  // junction crossing in a 1x1 grid.
+  EXPECT_LE(r.metrics.completed, 2400u);
+  EXPECT_GT(r.metrics.completed, 0u);
+}
+
+TEST(QueueSim, SingleVehicleTravelTimeMatchesFreeFlow) {
+  // With a trickle of demand and a permanently green through phase, travel
+  // time is about two free-flow traversals (entry road + exit road).
+  net::GridConfig gcfg;
+  gcfg.rows = 1;
+  gcfg.cols = 1;
+  const net::Network net = net::build_grid(gcfg);
+  traffic::DemandConfig dcfg = demand_cfg(traffic::PatternKind::II);
+  dcfg.interarrival_scale = 30.0;  // one vehicle per ~3 min per entry
+  traffic::DemandGenerator demand(net, dcfg, 11);
+  QueueSim sim(net, QueueSimConfig{}, core::make_controllers(util_spec(), net), demand);
+  const stats::RunResult r = sim.finish(1800.0);
+  ASSERT_GT(r.metrics.completed, 5u);
+  const double free_flow = 2.0 * (220.0 / 13.9);
+  EXPECT_NEAR(r.metrics.average_travel_time_s(), free_flow, free_flow * 0.5);
+  // Essentially no queuing at an empty junction under UTIL-BP.
+  EXPECT_LT(r.metrics.average_queuing_time_s(), 10.0);
+}
+
+TEST(QueueSim, UtilBpIsWorkConservingAtTheJunction) {
+  // Property from Section IV Q2: whenever some movement has queued vehicles
+  // and downstream space, UTIL-BP's junction must not sit in a control phase
+  // that serves nothing (ambers excepted).
+  const net::Network net = grid(1);
+  traffic::DemandGenerator demand(net, demand_cfg(traffic::PatternKind::I), 17);
+  QueueSim sim(net, QueueSimConfig{}, core::make_controllers(util_spec(), net), demand);
+  const IntersectionId junction = net.intersections().front().id;
+  int checks = 0;
+  int last_violation_t = -10;
+  int adjacent_violations = 0;
+  for (int t = 1; t <= 900; ++t) {
+    sim.run_until(static_cast<double>(t));
+    const net::PhaseIndex phase = sim.displayed_phase(junction);
+    if (phase == net::kTransitionPhase) continue;  // ambers are not idling
+    bool any_queued_anywhere = false;
+    for (const net::Link& l : net.links()) {
+      if (sim.link_queue(l.id) > 0) any_queued_anywhere = true;
+    }
+    if (!any_queued_anywhere) continue;
+    ++checks;
+    bool serves_something = false;
+    for (LinkId lid :
+         net.intersections().front().phases[static_cast<std::size_t>(phase)].links) {
+      if (sim.link_queue(lid) > 0) serves_something = true;
+    }
+    if (!serves_something) {
+      // A single idle snapshot is the unavoidable boundary case: the phase's
+      // last queued vehicle was served within the sampled mini-slot and the
+      // controller reacts at the next decision instant (possibly via an
+      // amber, which restarts the clock). *Sustained* idling — a control
+      // phase serving nothing in two adjacent mini-slots while other
+      // movements wait — would break work conservation (Section IV, Q2).
+      if (t == last_violation_t + 1) ++adjacent_violations;
+      last_violation_t = t;
+    }
+  }
+  ASSERT_GT(checks, 100);
+  EXPECT_EQ(adjacent_violations, 0);
+}
+
+TEST(QueueSim, DeterministicReplay) {
+  const net::Network net = grid(2);
+  auto run_once = [&]() {
+    traffic::DemandGenerator demand(net, demand_cfg(traffic::PatternKind::III), 23);
+    QueueSim sim(net, QueueSimConfig{}, core::make_controllers(util_spec(), net), demand);
+    return sim.finish(900.0);
+  };
+  const stats::RunResult a = run_once();
+  const stats::RunResult b = run_once();
+  EXPECT_EQ(a.metrics.completed, b.metrics.completed);
+  EXPECT_DOUBLE_EQ(a.metrics.average_queuing_time_s(), b.metrics.average_queuing_time_s());
+  ASSERT_EQ(a.phase_traces.size(), b.phase_traces.size());
+  for (std::size_t i = 0; i < a.phase_traces.size(); ++i) {
+    ASSERT_EQ(a.phase_traces[i].samples().size(), b.phase_traces[i].samples().size());
+  }
+}
+
+TEST(QueueSim, WatchesProduceSeries) {
+  const net::Network net = grid(1);
+  traffic::DemandGenerator demand(net, demand_cfg(), 29);
+  QueueSim sim(net, QueueSimConfig{}, core::make_controllers(util_spec(), net), demand);
+  const RoadId east_in = net.intersections().front().incoming_on(net::Side::East);
+  sim.watch_road(east_in, "east");
+  const stats::RunResult r = sim.finish(600.0);
+  ASSERT_EQ(r.road_series.size(), 1u);
+  EXPECT_EQ(r.road_series[0].name(), "east");
+  // Default sampling every 10 s.
+  EXPECT_NEAR(static_cast<double>(r.road_series[0].size()), 60.0, 2.0);
+}
+
+TEST(QueueSim, PhaseTracesCoverRun) {
+  const net::Network net = grid(1);
+  traffic::DemandGenerator demand(net, demand_cfg(), 31);
+  QueueSim sim(net, QueueSimConfig{}, core::make_controllers(util_spec(), net), demand);
+  const stats::RunResult r = sim.finish(600.0);
+  ASSERT_EQ(r.phase_traces.size(), 1u);
+  EXPECT_FALSE(r.phase_traces[0].empty());
+  EXPECT_DOUBLE_EQ(r.phase_traces[0].end_time(), 600.0);
+}
+
+TEST(QueueSim, RejectsBadConstruction) {
+  const net::Network net = grid(1);
+  traffic::DemandGenerator demand(net, demand_cfg(), 1);
+  EXPECT_THROW(QueueSim(net, QueueSimConfig{.step_s = 0.0},
+                        core::make_controllers(util_spec(), net), demand),
+               std::invalid_argument);
+  EXPECT_THROW(QueueSim(net, QueueSimConfig{.step_s = 2.0, .control_interval_s = 1.0},
+                        core::make_controllers(util_spec(), net), demand),
+               std::invalid_argument);
+  EXPECT_THROW(QueueSim(net, QueueSimConfig{}, {}, demand), std::invalid_argument);
+}
+
+TEST(QueueSim, FinishIsTerminal) {
+  const net::Network net = grid(1);
+  traffic::DemandGenerator demand(net, demand_cfg(), 1);
+  QueueSim sim(net, QueueSimConfig{}, core::make_controllers(util_spec(), net), demand);
+  sim.finish(60.0);
+  EXPECT_THROW(sim.run_until(120.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace abp::queuesim

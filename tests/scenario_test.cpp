@@ -1,0 +1,99 @@
+// Tests for scenario assembly and the paper-defaults factory.
+#include "src/scenario/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace abp::scenario {
+namespace {
+
+TEST(Scenario, PaperDefaultsMatchEvaluationSection) {
+  const ScenarioConfig cfg =
+      paper_scenario(traffic::PatternKind::I, core::ControllerType::UtilBp);
+  EXPECT_EQ(cfg.grid.rows, 3);
+  EXPECT_EQ(cfg.grid.cols, 3);
+  EXPECT_EQ(cfg.grid.capacity, 120);
+  EXPECT_DOUBLE_EQ(cfg.grid.service_rate, 1.0);
+  EXPECT_DOUBLE_EQ(cfg.controller.util.alpha, -1.0);
+  EXPECT_DOUBLE_EQ(cfg.controller.util.beta, -2.0);
+  EXPECT_DOUBLE_EQ(cfg.controller.util.amber_duration_s, 4.0);
+  EXPECT_EQ(cfg.controller.util.gstar_policy, core::GStarPolicy::WStarMu);
+  EXPECT_DOUBLE_EQ(cfg.duration_s, 3600.0);
+  EXPECT_DOUBLE_EQ(paper_scenario(traffic::PatternKind::Mixed, core::ControllerType::CapBp)
+                       .duration_s,
+                   4.0 * 3600.0);
+}
+
+TEST(Scenario, FixedSlotPeriodPropagates) {
+  const ScenarioConfig cfg =
+      paper_scenario(traffic::PatternKind::II, core::ControllerType::CapBp, 22.0);
+  EXPECT_DOUBLE_EQ(cfg.controller.fixed_slot.period_s, 22.0);
+  EXPECT_DOUBLE_EQ(cfg.controller.fixed_slot.amber_duration_s, 4.0);
+}
+
+class ScenarioControllers : public ::testing::TestWithParam<core::ControllerType> {};
+
+TEST_P(ScenarioControllers, MicroRunProducesTraffic) {
+  ScenarioConfig cfg = paper_scenario(traffic::PatternKind::II, GetParam());
+  cfg.duration_s = 300.0;
+  cfg.seed = 3;
+  const stats::RunResult r = run_scenario(cfg);
+  EXPECT_GT(r.metrics.entered, 100u);
+  EXPECT_GT(r.metrics.completed, 0u);
+  EXPECT_EQ(r.phase_traces.size(), 9u);
+  EXPECT_DOUBLE_EQ(r.duration_s, 300.0);
+}
+
+TEST_P(ScenarioControllers, QueueRunProducesTraffic) {
+  ScenarioConfig cfg = paper_scenario(traffic::PatternKind::II, GetParam());
+  cfg.simulator = SimulatorKind::Queue;
+  cfg.duration_s = 300.0;
+  cfg.seed = 3;
+  const stats::RunResult r = run_scenario(cfg);
+  EXPECT_GT(r.metrics.entered, 100u);
+  EXPECT_GT(r.metrics.completed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ScenarioControllers,
+                         ::testing::Values(core::ControllerType::UtilBp,
+                                           core::ControllerType::CapBp,
+                                           core::ControllerType::OriginalBp,
+                                           core::ControllerType::FixedTime));
+
+TEST(Scenario, WatchesResolveGridCoordinates) {
+  ScenarioConfig cfg = paper_scenario(traffic::PatternKind::I, core::ControllerType::UtilBp);
+  cfg.duration_s = 120.0;
+  cfg.watches.push_back({.row = 0, .col = 2, .side = net::Side::East, .name = "fig5"});
+  const stats::RunResult r = run_scenario(cfg);
+  ASSERT_EQ(r.road_series.size(), 1u);
+  EXPECT_EQ(r.road_series[0].name(), "fig5");
+  EXPECT_GT(r.road_series[0].size(), 5u);
+}
+
+TEST(Scenario, InvalidWatchThrows) {
+  ScenarioConfig cfg = paper_scenario(traffic::PatternKind::I, core::ControllerType::UtilBp);
+  cfg.watches.push_back({.row = 9, .col = 9, .side = net::Side::East, .name = "bad"});
+  EXPECT_THROW(run_scenario(cfg), std::invalid_argument);
+}
+
+TEST(Scenario, SameSeedReproduces) {
+  ScenarioConfig cfg = paper_scenario(traffic::PatternKind::III, core::ControllerType::UtilBp);
+  cfg.duration_s = 300.0;
+  cfg.seed = 77;
+  const stats::RunResult a = run_scenario(cfg);
+  const stats::RunResult b = run_scenario(cfg);
+  EXPECT_EQ(a.metrics.completed, b.metrics.completed);
+  EXPECT_DOUBLE_EQ(a.metrics.average_queuing_time_s(), b.metrics.average_queuing_time_s());
+}
+
+TEST(Scenario, DifferentSeedsDiffer) {
+  ScenarioConfig cfg = paper_scenario(traffic::PatternKind::III, core::ControllerType::UtilBp);
+  cfg.duration_s = 300.0;
+  cfg.seed = 1;
+  const stats::RunResult a = run_scenario(cfg);
+  cfg.seed = 2;
+  const stats::RunResult b = run_scenario(cfg);
+  EXPECT_NE(a.metrics.entered, b.metrics.entered);
+}
+
+}  // namespace
+}  // namespace abp::scenario

@@ -1,0 +1,207 @@
+// Tests for demand schedules, the detector-imperfection model and the
+// replication harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/sensor.hpp"
+#include "src/net/grid.hpp"
+#include "src/scenario/scenario.hpp"
+#include "src/traffic/demand.hpp"
+
+namespace abp {
+namespace {
+
+// --- DemandSchedule ----------------------------------------------------------
+
+TEST(DemandSchedule, RejectsBadSegments) {
+  EXPECT_THROW(traffic::DemandSchedule(std::vector<traffic::ScheduleSegment>{}),
+               std::invalid_argument);
+  EXPECT_THROW(traffic::DemandSchedule(std::vector<traffic::ScheduleSegment>{
+                   {.duration_s = 0.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(traffic::DemandSchedule(std::vector<traffic::ScheduleSegment>{
+                   {.duration_s = 10.0, .interarrival_scale = 0.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      traffic::DemandSchedule(std::vector<traffic::ScheduleSegment>{
+          {.duration_s = 10.0, .pattern = traffic::PatternKind::Mixed}}),
+      std::invalid_argument);
+}
+
+TEST(DemandSchedule, SegmentLookupAndWrapAround) {
+  const traffic::DemandSchedule schedule({
+      {.duration_s = 100.0, .pattern = traffic::PatternKind::I},
+      {.duration_s = 50.0, .pattern = traffic::PatternKind::II},
+  });
+  EXPECT_DOUBLE_EQ(schedule.cycle_duration_s(), 150.0);
+  EXPECT_EQ(schedule.at(0.0).pattern, traffic::PatternKind::I);
+  EXPECT_EQ(schedule.at(99.9).pattern, traffic::PatternKind::I);
+  EXPECT_EQ(schedule.at(100.0).pattern, traffic::PatternKind::II);
+  EXPECT_EQ(schedule.at(149.9).pattern, traffic::PatternKind::II);
+  // Repeats after the cycle.
+  EXPECT_EQ(schedule.at(150.0).pattern, traffic::PatternKind::I);
+  EXPECT_EQ(schedule.at(250.0).pattern, traffic::PatternKind::II);
+}
+
+TEST(DemandSchedule, MeanInterarrivalComposesScale) {
+  const traffic::DemandSchedule schedule({
+      {.duration_s = 100.0, .pattern = traffic::PatternKind::I, .interarrival_scale = 2.0},
+  });
+  // Pattern I North = 3 s, segment scale 2 -> 6 s.
+  EXPECT_DOUBLE_EQ(schedule.mean_interarrival(net::Side::North, 50.0), 6.0);
+}
+
+TEST(DemandSchedule, GeneratorFollowsSchedule) {
+  const net::Network net = net::build_grid(net::GridConfig{});
+  traffic::DemandConfig cfg;
+  cfg.schedule = traffic::DemandSchedule({
+      {.duration_s = 1800.0, .pattern = traffic::PatternKind::II, .interarrival_scale = 1.0},
+      {.duration_s = 1800.0, .pattern = traffic::PatternKind::II, .interarrival_scale = 0.25},
+  });
+  traffic::DemandGenerator gen(net, cfg, 9);
+  const auto first = gen.poll(0.0, 1800.0);
+  const auto second = gen.poll(1800.0, 3600.0);
+  // Second segment runs at 4x the rate.
+  EXPECT_NEAR(static_cast<double>(second.size()) / static_cast<double>(first.size()), 4.0,
+              0.6);
+}
+
+TEST(DemandSchedule, GlobalScaleComposesWithSchedule) {
+  const net::Network net = net::build_grid(net::GridConfig{});
+  traffic::DemandConfig cfg;
+  cfg.schedule = traffic::DemandSchedule(
+      {{.duration_s = 3600.0, .pattern = traffic::PatternKind::II}});
+  cfg.interarrival_scale = 2.0;
+  traffic::DemandGenerator gen(net, cfg, 9);
+  const auto spawns = gen.poll(0.0, 3600.0);
+  // 12 entries, 12 s effective inter-arrival -> ~3600 vehicles.
+  EXPECT_NEAR(static_cast<double>(spawns.size()), 3600.0, 250.0);
+}
+
+// --- SensorModel --------------------------------------------------------------
+
+TEST(SensorModel, PerfectSensorIsIdentityAndConsumesNoRandomness) {
+  core::SensorModel perfect;
+  Rng rng(1);
+  const std::uint64_t checkpoint = Rng(1).next();
+  for (int q : {0, 1, 7, 120}) {
+    EXPECT_EQ(core::measure_queue(q, perfect, rng), q);
+  }
+  EXPECT_EQ(rng.next(), checkpoint);  // untouched stream
+}
+
+TEST(SensorModel, DetectionThinningMatchesBinomialMean) {
+  core::SensorModel model{.detection_probability = 0.7};
+  Rng rng(5);
+  double total = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) total += core::measure_queue(10, model, rng);
+  EXPECT_NEAR(total / kN, 7.0, 0.1);
+}
+
+TEST(SensorModel, QuantizationFloors) {
+  core::SensorModel model{.quantization = 5};
+  Rng rng(7);
+  EXPECT_EQ(core::measure_queue(4, model, rng), 0);
+  EXPECT_EQ(core::measure_queue(5, model, rng), 5);
+  EXPECT_EQ(core::measure_queue(9, model, rng), 5);
+  EXPECT_EQ(core::measure_queue(23, model, rng), 20);
+}
+
+TEST(SensorModel, DropoutZeroesReading) {
+  core::SensorModel model{.dropout_probability = 1.0};
+  Rng rng(9);
+  EXPECT_EQ(core::measure_queue(50, model, rng), 0);
+}
+
+TEST(SensorModel, DropoutFrequencyMatches) {
+  core::SensorModel model{.dropout_probability = 0.25};
+  Rng rng(11);
+  int zeros = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (core::measure_queue(30, model, rng) == 0) ++zeros;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / kN, 0.25, 0.02);
+}
+
+TEST(SensorModel, NoisySimStillConservesVehicles) {
+  scenario::ScenarioConfig cfg =
+      scenario::paper_scenario(traffic::PatternKind::II, core::ControllerType::UtilBp);
+  cfg.duration_s = 600.0;
+  cfg.seed = 13;
+  cfg.micro.sensor = {.detection_probability = 0.6,
+                      .quantization = 5,
+                      .dropout_probability = 0.1};
+  const stats::RunResult r = scenario::run_scenario(cfg);
+  EXPECT_EQ(r.metrics.completed + r.metrics.in_network_at_end, r.metrics.entered);
+  EXPECT_GT(r.metrics.completed, 0u);
+}
+
+TEST(SensorModel, PerfectSensorDoesNotChangeARun) {
+  scenario::ScenarioConfig cfg =
+      scenario::paper_scenario(traffic::PatternKind::I, core::ControllerType::UtilBp);
+  cfg.duration_s = 600.0;
+  cfg.seed = 17;
+  const stats::RunResult base = scenario::run_scenario(cfg);
+  cfg.micro.sensor = core::SensorModel{};  // explicitly perfect
+  const stats::RunResult same = scenario::run_scenario(cfg);
+  EXPECT_EQ(base.metrics.completed, same.metrics.completed);
+  EXPECT_DOUBLE_EQ(base.metrics.average_queuing_time_s(),
+                   same.metrics.average_queuing_time_s());
+}
+
+TEST(SensorModel, DegradedSensingDegradesAdaptiveControl) {
+  // With heavily degraded detectors the adaptive policy should do no better
+  // than with perfect ones (and typically worse).
+  auto run_with = [&](core::SensorModel model) {
+    scenario::ScenarioConfig cfg =
+        scenario::paper_scenario(traffic::PatternKind::I, core::ControllerType::UtilBp);
+    cfg.duration_s = 1800.0;
+    cfg.seed = 19;
+    cfg.micro.sensor = model;
+    return scenario::run_scenario(cfg).metrics.average_queuing_time_s();
+  };
+  const double perfect = run_with({});
+  const double degraded = run_with({.detection_probability = 0.3,
+                                    .quantization = 10,
+                                    .dropout_probability = 0.3});
+  EXPECT_GE(degraded, perfect * 0.95);
+}
+
+// --- Replications --------------------------------------------------------------
+
+TEST(Replications, RejectsNonPositiveCount) {
+  scenario::ScenarioConfig cfg =
+      scenario::paper_scenario(traffic::PatternKind::II, core::ControllerType::UtilBp);
+  EXPECT_THROW(scenario::run_replications(cfg, 0), std::invalid_argument);
+}
+
+TEST(Replications, SummaryStatisticsAreConsistent) {
+  scenario::ScenarioConfig cfg =
+      scenario::paper_scenario(traffic::PatternKind::II, core::ControllerType::UtilBp);
+  cfg.duration_s = 300.0;
+  cfg.seed = 100;
+  const scenario::ReplicationSummary s = scenario::run_replications(cfg, 4);
+  ASSERT_EQ(s.avg_queuing_times_s.size(), 4u);
+  double mean = 0.0;
+  for (double v : s.avg_queuing_times_s) mean += v;
+  mean /= 4.0;
+  EXPECT_NEAR(s.mean_s, mean, 1e-9);
+  EXPECT_GT(s.stddev_s, 0.0);  // different seeds produce different runs
+  EXPECT_NEAR(s.ci95_halfwidth_s, 1.96 * s.stddev_s / 2.0, 1e-9);
+}
+
+TEST(Replications, SingleReplicationHasNoInterval) {
+  scenario::ScenarioConfig cfg =
+      scenario::paper_scenario(traffic::PatternKind::II, core::ControllerType::UtilBp);
+  cfg.duration_s = 300.0;
+  const scenario::ReplicationSummary s = scenario::run_replications(cfg, 1);
+  EXPECT_EQ(s.avg_queuing_times_s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth_s, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev_s, 0.0);
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,155 @@
+// Tests for route construction and sampling on the grid.
+#include "src/traffic/route.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/net/grid.hpp"
+
+namespace abp::traffic {
+namespace {
+
+net::Network grid3() { return net::build_grid(net::GridConfig{}); }
+
+TEST(Route, StraightPathCrossesGridDimension) {
+  const net::Network net = grid3();
+  // Entering from the North: the straight path crosses the 3 junctions of
+  // its column; from the East: the 3 junctions of its row.
+  for (RoadId entry : net.entry_roads_on(net::Side::North)) {
+    EXPECT_EQ(straight_path_junctions(net, entry), 3);
+  }
+  for (RoadId entry : net.entry_roads_on(net::Side::East)) {
+    EXPECT_EQ(straight_path_junctions(net, entry), 3);
+  }
+}
+
+TEST(Route, PureStraightRouteEndsAtOppositeExit) {
+  const net::Network net = grid3();
+  const RoadId entry = net.entry_roads_on(net::Side::North).front();
+  const Route route = make_route(net, entry, net::Turn::Straight, 0);
+  EXPECT_EQ(route.junction_count(), 3u);
+  const auto roads = roads_of_route(net, route);
+  ASSERT_TRUE(roads.has_value());
+  // entry + 2 internal + exit = 4 roads.
+  ASSERT_EQ(roads->size(), 4u);
+  const net::Road& last = net.road(roads->back());
+  EXPECT_TRUE(last.is_exit());
+  // Exiting southward: the exit road leaves a bottom-row junction's South side.
+  EXPECT_EQ(last.departure_side, net::Side::South);
+}
+
+TEST(Route, TurnAtEachJunctionIsLegal) {
+  const net::Network net = grid3();
+  for (RoadId entry : net.entry_roads()) {
+    const int junctions = straight_path_junctions(net, entry);
+    for (net::Turn turn : {net::Turn::Left, net::Turn::Right}) {
+      for (int at = 0; at < junctions; ++at) {
+        const Route route = make_route(net, entry, turn, at);
+        const auto roads = roads_of_route(net, route);
+        ASSERT_TRUE(roads.has_value())
+            << net.road(entry).name << " turn " << net::turn_name(turn) << " at " << at;
+        EXPECT_TRUE(net.road(roads->back()).is_exit());
+      }
+    }
+  }
+}
+
+TEST(Route, TurnSequenceHasExactlyOneTurn) {
+  const net::Network net = grid3();
+  const RoadId entry = net.entry_roads_on(net::Side::West).front();
+  const Route route = make_route(net, entry, net::Turn::Left, 1);
+  int turns = 0;
+  for (net::Turn t : route.turns) {
+    if (t != net::Turn::Straight) ++turns;
+  }
+  EXPECT_EQ(turns, 1);
+  EXPECT_EQ(route.turns[1], net::Turn::Left);
+}
+
+TEST(Route, RoadsOfRouteRejectsIllegalCommand) {
+  const net::Network net = grid3();
+  Route bogus;
+  bogus.entry = net.entry_roads().front();
+  // Too few turns: the walk ends on a non-exit road.
+  bogus.turns = {net::Turn::Straight};
+  EXPECT_FALSE(roads_of_route(net, bogus).has_value());
+}
+
+TEST(Route, SampleRouteAlwaysLegal) {
+  const net::Network net = grid3();
+  const TurningTable table = TurningTable::paper();
+  Rng rng(99);
+  for (RoadId entry : net.entry_roads()) {
+    for (int i = 0; i < 200; ++i) {
+      const Route route = sample_route(net, entry, table, rng);
+      EXPECT_EQ(route.entry, entry);
+      EXPECT_TRUE(roads_of_route(net, route).has_value());
+    }
+  }
+}
+
+TEST(Route, SampleMatchesTableIProbabilities) {
+  const net::Network net = grid3();
+  const TurningTable table = TurningTable::paper();
+  Rng rng(123);
+  const RoadId entry = net.entry_roads_on(net::Side::North).front();
+  int left = 0, right = 0, straight = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const Route route = sample_route(net, entry, table, rng);
+    net::Turn taken = net::Turn::Straight;
+    for (net::Turn t : route.turns) {
+      if (t != net::Turn::Straight) taken = t;
+    }
+    (taken == net::Turn::Left ? left : taken == net::Turn::Right ? right : straight)++;
+  }
+  // North column of Table I: right 0.4, left 0.2, straight 0.4.
+  EXPECT_NEAR(right / static_cast<double>(kN), 0.4, 0.02);
+  EXPECT_NEAR(left / static_cast<double>(kN), 0.2, 0.02);
+  EXPECT_NEAR(straight / static_cast<double>(kN), 0.4, 0.02);
+}
+
+TEST(Route, TurningJunctionUniformlyDistributed) {
+  const net::Network net = grid3();
+  const TurningTable table = TurningTable::paper();
+  Rng rng(321);
+  const RoadId entry = net.entry_roads_on(net::Side::South).front();
+  std::map<std::size_t, int> turn_positions;
+  constexpr int kN = 30000;
+  for (int i = 0; i < kN; ++i) {
+    const Route route = sample_route(net, entry, table, rng);
+    for (std::size_t j = 0; j < route.turns.size(); ++j) {
+      if (route.turns[j] != net::Turn::Straight) {
+        turn_positions[j]++;
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(turn_positions.size(), 3u);
+  int total = 0;
+  for (const auto& [pos, count] : turn_positions) total += count;
+  for (const auto& [pos, count] : turn_positions) {
+    EXPECT_NEAR(count / static_cast<double>(total), 1.0 / 3.0, 0.02) << pos;
+  }
+}
+
+TEST(Route, SingleJunctionGridStillRoutes) {
+  net::GridConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 1;
+  const net::Network net = net::build_grid(cfg);
+  const TurningTable table = TurningTable::paper();
+  Rng rng(5);
+  for (RoadId entry : net.entry_roads()) {
+    EXPECT_EQ(straight_path_junctions(net, entry), 1);
+    for (int i = 0; i < 50; ++i) {
+      const Route route = sample_route(net, entry, table, rng);
+      EXPECT_TRUE(roads_of_route(net, route).has_value());
+      EXPECT_EQ(route.junction_count(), 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace abp::traffic

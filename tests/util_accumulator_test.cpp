@@ -1,0 +1,157 @@
+// Tests for the streaming statistics accumulators.
+#include "src/util/accumulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace abp {
+namespace {
+
+TEST(Accumulator, EmptyIsZeroed) {
+  Accumulator acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 0.0);
+  EXPECT_EQ(acc.max(), 0.0);
+}
+
+TEST(Accumulator, SingleSample) {
+  Accumulator acc;
+  acc.add(5.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_EQ(acc.mean(), 5.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 5.0);
+  EXPECT_EQ(acc.max(), 5.0);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, NumericallyStableForShiftedData) {
+  // Welford must survive a large constant offset without catastrophic
+  // cancellation.
+  Accumulator acc;
+  const double offset = 1e9;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) acc.add(offset + x);
+  EXPECT_NEAR(acc.mean() - offset, 3.0, 1e-6);
+  EXPECT_NEAR(acc.variance(), 2.5, 1e-6);
+}
+
+TEST(Accumulator, MergeMatchesSingleStream) {
+  Rng rng(5);
+  Accumulator all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-10.0, 10.0);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a;
+  a.add(1.0);
+  a.add(3.0);
+  Accumulator empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  Accumulator b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(SampleSet, EmptyIsZeroed) {
+  SampleSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(SampleSet, MeanAndQuantiles) {
+  SampleSet s;
+  for (double x : {9.0, 1.0, 5.0, 3.0, 7.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Interpolated quartiles of {1,3,5,7,9}.
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.75), 7.0);
+}
+
+TEST(SampleSet, QuantileInterpolates) {
+  SampleSet s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.1), 1.0);
+}
+
+TEST(SampleSet, QuantileClampsArgument) {
+  SampleSet s;
+  s.add(2.0);
+  s.add(4.0);
+  EXPECT_DOUBLE_EQ(s.quantile(-1.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(2.0), 4.0);
+}
+
+TEST(SampleSet, InsertAfterQueryResorts) {
+  SampleSet s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add(1.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+}
+
+class AccumulatorRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AccumulatorRandomized, AgreesWithDirectComputation) {
+  Rng rng(GetParam());
+  Accumulator acc;
+  std::vector<double> xs;
+  const int n = 100 + static_cast<int>(rng.uniform_int(0, 400));
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform(-100.0, 100.0);
+    xs.push_back(x);
+    acc.add(x);
+  }
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(acc.mean(), mean, 1e-9);
+  EXPECT_NEAR(acc.variance(), var, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccumulatorRandomized,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace abp

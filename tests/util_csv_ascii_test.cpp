@@ -1,0 +1,112 @@
+// Tests for CSV emission and ASCII chart rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/util/ascii_chart.hpp"
+#include "src/util/csv.hpp"
+
+namespace abp {
+namespace {
+
+TEST(Csv, PlainFieldsUntouched) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+  EXPECT_EQ(CsvWriter::escape("123.45"), "123.45");
+}
+
+TEST(Csv, SeparatorTriggersQuoting) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("a;b", ';'), "\"a;b\"");
+  EXPECT_EQ(CsvWriter::escape("a;b", ','), "a;b");
+}
+
+TEST(Csv, QuotesAreDoubled) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, NewlinesAreQuoted) {
+  EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+  EXPECT_EQ(CsvWriter::escape("a\rb"), "\"a\rb\"");
+}
+
+TEST(Csv, RowJoinsWithSeparator) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+  EXPECT_EQ(csv.rows_written(), 1u);
+}
+
+TEST(Csv, TypedRowFormatsNumbers) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.typed_row("period", 16, 90.55);
+  EXPECT_EQ(out.str(), "period,16,90.55\n");
+}
+
+TEST(Csv, EmptyRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({});
+  EXPECT_EQ(out.str(), "\n");
+}
+
+TEST(AsciiChart, ContainsMarkersAndLegend) {
+  ChartSeries s;
+  s.name = "queue";
+  s.marker = 'o';
+  s.x = {0.0, 1.0, 2.0, 3.0};
+  s.y = {0.0, 2.0, 1.0, 4.0};
+  ChartOptions opt;
+  opt.title = "Queue over time";
+  const std::string chart = render_chart({s}, opt);
+  EXPECT_NE(chart.find("Queue over time"), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+  EXPECT_NE(chart.find("o = queue"), std::string::npos);
+}
+
+TEST(AsciiChart, AxisLabelsShowBounds) {
+  ChartSeries s;
+  s.name = "v";
+  s.x = {10.0, 80.0};
+  s.y = {100.0, 600.0};
+  const std::string chart = render_chart({s}, ChartOptions{});
+  EXPECT_NE(chart.find("600"), std::string::npos);
+  EXPECT_NE(chart.find("100"), std::string::npos);
+  EXPECT_NE(chart.find("10"), std::string::npos);
+  EXPECT_NE(chart.find("80"), std::string::npos);
+}
+
+TEST(AsciiChart, EmptySeriesDoesNotCrash) {
+  ChartSeries s;
+  s.name = "empty";
+  const std::string chart = render_chart({s}, ChartOptions{});
+  EXPECT_FALSE(chart.empty());
+}
+
+TEST(AsciiChart, MultipleSeriesOverlay) {
+  ChartSeries a{.name = "a", .x = {0, 1}, .y = {0, 1}, .marker = '*'};
+  ChartSeries b{.name = "b", .x = {0, 1}, .y = {1, 0}, .marker = '+'};
+  const std::string chart = render_chart({a, b}, ChartOptions{});
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('+'), std::string::npos);
+}
+
+TEST(AsciiChart, StepChartShowsBands) {
+  ChartSeries s;
+  s.name = "phase";
+  s.x = {0.0, 10.0, 20.0, 30.0};
+  s.y = {1.0, 0.0, 3.0, 2.0};
+  ChartOptions opt;
+  opt.title = "Phases";
+  const std::string chart = render_step_chart(s, opt, 0, 4);
+  EXPECT_NE(chart.find("Phases"), std::string::npos);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+  // One labelled row per band 0..4.
+  for (int band = 0; band <= 4; ++band) {
+    EXPECT_NE(chart.find(std::to_string(band) + " |"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace abp

@@ -1,0 +1,222 @@
+// Tests for the deterministic RNG and its distributions.
+#include "src/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace abp {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, AdjacentSeedsDecorrelated) {
+  // SplitMix64 seeding must break the similarity of nearby seeds.
+  Rng a(1000);
+  Rng b(1001);
+  int equal_bits = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t x = a.next() ^ b.next();
+    equal_bits += 64 - static_cast<int>(__builtin_popcountll(x));
+  }
+  // ~50% of 64*64 bits should match; allow generous slack.
+  EXPECT_GT(equal_bits, 1500);
+  EXPECT_LT(equal_bits, 2600);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_int(2, 9);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.uniform_int(42, 42), 42);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(23);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(6.0);
+  EXPECT_NEAR(sum / kN, 6.0, 0.1);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng rng(29);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GE(rng.exponential(3.0), 0.0);
+  }
+}
+
+TEST(Rng, ExponentialVarianceMatches) {
+  // Var of Exp(mean m) is m^2.
+  Rng rng(31);
+  constexpr int kN = 200000;
+  constexpr double kMean = 4.0;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.exponential(kMean);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(var, kMean * kMean, 0.5);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.poisson(0.0), 0);
+    EXPECT_EQ(rng.poisson(-1.0), 0);
+  }
+}
+
+class RngPoissonMean : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngPoissonMean, MeanAndVarianceMatch) {
+  // Poisson(lambda) has mean = variance = lambda, in both the Knuth and the
+  // normal-approximation regimes.
+  const double lambda = GetParam();
+  Rng rng(41);
+  constexpr int kN = 100000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const int x = rng.poisson(lambda);
+    ASSERT_GE(x, 0);
+    sum += x;
+    sum2 += static_cast<double>(x) * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, lambda, 0.05 * lambda + 0.05);
+  EXPECT_NEAR(var, lambda, 0.1 * lambda + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, RngPoissonMean,
+                         ::testing::Values(0.1, 0.5, 1.0, 3.0, 10.0, 25.0, 40.0, 80.0));
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(47);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, DiscreteMatchesWeights) {
+  Rng rng(53);
+  const std::array<double, 3> weights = {0.2, 0.5, 0.3};
+  std::array<int, 3> counts{};
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    counts[rng.discrete(weights)]++;
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(kN), 0.2, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kN), 0.5, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kN), 0.3, 0.01);
+}
+
+TEST(Rng, DiscreteIgnoresNegativeWeights) {
+  Rng rng(59);
+  const std::array<double, 3> weights = {-5.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.discrete(weights), 1u);
+  }
+}
+
+TEST(Rng, DiscreteAllZeroReturnsFirst) {
+  Rng rng(61);
+  const std::array<double, 4> weights = {0.0, 0.0, 0.0, 0.0};
+  EXPECT_EQ(rng.discrete(weights), 0u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(67);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(71);
+  Rng b(71);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ca.next(), cb.next());
+  }
+}
+
+}  // namespace
+}  // namespace abp
