@@ -1,0 +1,137 @@
+// Hot-path throughput bench: vehicle-steps per wall-clock second on square
+// grids from 1x1 to 8x8, for both simulators, over a 2-hour simulated run.
+//
+// A "vehicle-step" is one vehicle being inside the network for one simulator
+// tick — the unit of useful work a simulator performs. Reporting throughput
+// in vehicle-steps/s (rather than plain steps/s) makes runs with different
+// traffic loads comparable and exposes any per-tick cost that scales with
+// *history* instead of *active state*: such a cost makes vehicle-steps/s
+// decay over long runs even at constant occupancy.
+//
+// Output: a human-readable table on stdout, a CSV mirror under
+// ./bench_results/, and BENCH_hotpath.json in the working directory so the
+// perf trajectory across PRs is machine-readable (docs/PERFORMANCE.md
+// explains the schema). ABP_FAST=1 scales the simulated horizon down 10x for
+// smoke runs.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/core/factory.hpp"
+#include "src/microsim/micro_sim.hpp"
+#include "src/net/grid.hpp"
+#include "src/queuesim/queue_sim.hpp"
+#include "src/traffic/demand.hpp"
+
+namespace abp::bench {
+namespace {
+
+struct Row {
+  int grid = 0;
+  std::string sim;
+  double sim_seconds = 0.0;
+  long long vehicle_steps = 0;   // sum over ticks of vehicles in the network
+  std::size_t completed = 0;
+  double wall_seconds = 0.0;
+  [[nodiscard]] double vehicle_steps_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(vehicle_steps) / wall_seconds : 0.0;
+  }
+};
+
+// Samples vehicles_in_network() once per simulated second and scales by the
+// ticks per second, so the bench harness itself stays O(1) per sim-second
+// regardless of how the simulator implements the query.
+template <typename Sim>
+Row drive(Sim& sim, const char* name, int grid, double duration_s, double dt_s) {
+  Row row;
+  row.grid = grid;
+  row.sim = name;
+  row.sim_seconds = duration_s;
+  const double ticks_per_second = 1.0 / dt_s;
+  const auto start = std::chrono::steady_clock::now();
+  for (double t = 1.0; t <= duration_s; t += 1.0) {
+    sim.run_until(t);
+    row.vehicle_steps +=
+        static_cast<long long>(sim.vehicles_in_network() * ticks_per_second);
+  }
+  const stats::RunResult result = sim.finish(duration_s);
+  row.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  row.completed = result.metrics.completed;
+  return row;
+}
+
+Row run_micro(const net::Network& net, double duration_s, std::uint64_t seed, int grid) {
+  core::ControllerSpec spec;  // UTIL-BP defaults
+  traffic::DemandGenerator demand(net, traffic::DemandConfig{}, seed);
+  microsim::MicroSimConfig config;
+  microsim::MicroSim sim(net, config, core::make_controllers(spec, net), demand,
+                         seed + 0x5157u);
+  return drive(sim, "micro", grid, duration_s, config.dt_s);
+}
+
+Row run_queue(const net::Network& net, double duration_s, std::uint64_t seed, int grid) {
+  core::ControllerSpec spec;
+  traffic::DemandGenerator demand(net, traffic::DemandConfig{}, seed);
+  queuesim::QueueSimConfig config;
+  queuesim::QueueSim sim(net, config, core::make_controllers(spec, net), demand);
+  return drive(sim, "queue", grid, duration_s, config.step_s);
+}
+
+void write_json(const std::vector<Row>& rows, double duration_s) {
+  std::ofstream out("BENCH_hotpath.json");
+  out << "{\n  \"bench\": \"hotpath_throughput\",\n"
+      << "  \"sim_seconds\": " << duration_s << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"grid\": \"" << r.grid << "x" << r.grid << "\", \"sim\": \"" << r.sim
+        << "\", \"vehicle_steps\": " << r.vehicle_steps
+        << ", \"completed\": " << r.completed << ", \"wall_seconds\": " << r.wall_seconds
+        << ", \"vehicle_steps_per_sec\": " << r.vehicle_steps_per_sec() << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "[json] BENCH_hotpath.json\n";
+}
+
+}  // namespace
+}  // namespace abp::bench
+
+int main() {
+  using namespace abp;
+  using namespace abp::bench;
+
+  const double duration_s = 7200.0 * duration_scale();  // the paper's 2-hour horizon
+  const std::uint64_t seed = 2020;
+  const int grids[] = {1, 2, 3, 4, 6, 8};
+
+  print_header("Hot-path throughput (vehicle-steps per wall-clock second)");
+  std::printf("%-6s %-6s %14s %12s %10s %16s\n", "grid", "sim", "vehicle-steps",
+              "completed", "wall [s]", "veh-steps/s");
+
+  std::vector<Row> rows;
+  std::ofstream csv = open_csv("hotpath_throughput");
+  csv << "grid,sim,sim_seconds,vehicle_steps,completed,wall_seconds,vehicle_steps_per_sec\n";
+  for (int n : grids) {
+    net::GridConfig grid_cfg;
+    grid_cfg.rows = n;
+    grid_cfg.cols = n;
+    const net::Network net = net::build_grid(grid_cfg);
+    for (int which = 0; which < 2; ++which) {
+      Row row = which == 0 ? run_queue(net, duration_s, seed, n)
+                           : run_micro(net, duration_s, seed, n);
+      std::printf("%dx%-4d %-6s %14lld %12zu %10.2f %16.0f\n", n, n, row.sim.c_str(),
+                  row.vehicle_steps, row.completed, row.wall_seconds,
+                  row.vehicle_steps_per_sec());
+      std::fflush(stdout);
+      csv << n << "x" << n << "," << row.sim << "," << row.sim_seconds << ","
+          << row.vehicle_steps << "," << row.completed << "," << row.wall_seconds << ","
+          << row.vehicle_steps_per_sec() << "\n";
+      rows.push_back(std::move(row));
+    }
+  }
+  write_json(rows, duration_s);
+  return 0;
+}

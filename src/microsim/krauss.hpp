@@ -7,8 +7,13 @@
 //
 // Free functions (no simulator state) so the dynamics are unit-testable:
 // collision freedom and stopping behaviour are asserted directly in
-// tests/microsim_krauss_test.cpp.
+// tests/microsim_krauss_test.cpp. Defined inline: this is the innermost
+// per-vehicle-per-tick computation of the microscopic simulator, and a
+// cross-TU call per vehicle-step is measurable at scale.
 #pragma once
+
+#include <algorithm>
+#include <cmath>
 
 #include "src/microsim/params.hpp"
 
@@ -18,13 +23,29 @@ namespace abp::microsim {
 // `gap` is the bumper-to-bumper distance minus the standstill minimum gap;
 // `leader_speed` may be zero for a standing obstacle (stop line, queue tail).
 // Both braking at `p.decel_mps2`, reaction time `p.tau_s`.
-[[nodiscard]] double safe_speed(double gap, double leader_speed, const VehicleParams& p);
+[[nodiscard]] inline double safe_speed(double gap, double leader_speed,
+                                       const VehicleParams& p) {
+  if (gap <= 0.0) return 0.0;
+  // Krauss (1998): v_safe = -b*tau + sqrt(b^2 tau^2 + v_l^2 + 2 b g).
+  const double b = p.decel_mps2;
+  const double bt = b * p.tau_s;
+  const double radicand = bt * bt + leader_speed * leader_speed + 2.0 * b * gap;
+  const double v = -bt + std::sqrt(std::max(0.0, radicand));
+  return std::max(0.0, v);
+}
 
 // One Krauss update: returns the follower's next speed.
 // `rand01` in [0,1) supplies the dawdling draw; pass 0 for deterministic
 // (no-dawdle) behaviour.
-[[nodiscard]] double next_speed(double current_speed, double gap, double leader_speed,
-                                double speed_limit, const VehicleParams& p, double dt,
-                                double rand01);
+[[nodiscard]] inline double next_speed(double current_speed, double gap, double leader_speed,
+                                       double speed_limit, const VehicleParams& p, double dt,
+                                       double rand01) {
+  const double v_safe = safe_speed(gap, leader_speed, p);
+  const double v_des = std::min({speed_limit, current_speed + p.accel_mps2 * dt, v_safe});
+  // Dawdling: random imperfection, never below zero and never more than one
+  // acceleration step below the desired speed.
+  const double dawdle = p.sigma * p.accel_mps2 * dt * rand01;
+  return std::max(0.0, v_des - dawdle);
+}
 
 }  // namespace abp::microsim

@@ -45,10 +45,9 @@ void MicroSim::build_runtime() {
       rt.lanes.push_back(Lane{});  // single unsignalled lane
       continue;
     }
-    std::vector<LinkId> movements = net_.links_from(road.id);
-    std::sort(movements.begin(), movements.end(), [&](LinkId a, LinkId b) {
-      return static_cast<int>(net_.link(a).turn) < static_cast<int>(net_.link(b).turn);
-    });
+    // The topology index guarantees turn order (Left, Straight, Right) —
+    // exactly the dedicated-lane layout the paper assumes.
+    const std::span<const LinkId> movements = net_.links_from(road.id);
     if (config_.dedicated_turn_lanes) {
       // One dedicated lane per feasible movement, ordered Left/Straight/Right.
       for (LinkId lid : movements) {
@@ -70,6 +69,13 @@ void MicroSim::build_runtime() {
       }
     }
   }
+
+  road_queued_approach_.assign(net_.roads().size(), 0);
+  road_queued_congestion_.assign(net_.roads().size(), 0);
+  link_queued_approach_.assign(net_.links().size(), 0);
+  std::size_t max_lanes = 1;
+  for (const RoadRt& rt : roads_) max_lanes = std::max(max_lanes, rt.lanes.size());
+  lane_blocked_.assign(max_lanes, 0);
 }
 
 void MicroSim::watch_road(RoadId road, std::string series_name) {
@@ -85,7 +91,7 @@ int MicroSim::lane_count(LinkId link) const {
   // Mixed lane: count the vehicles whose route takes this movement.
   int count = 0;
   for (VehicleId vid : lane.vehicles) {
-    if (movement_of(vehicles_[vid.index()], lrt.from_road) == link) ++count;
+    if (vehicles_[vid.index()].next_link == link) ++count;
   }
   return count;
 }
@@ -96,13 +102,7 @@ net::PhaseIndex MicroSim::displayed_phase(IntersectionId node) const {
   return displayed_[node.index()];
 }
 
-int MicroSim::vehicles_in_network() const {
-  int count = 0;
-  for (const Veh& v : vehicles_) {
-    if (v.loc == Loc::Lane || v.loc == Loc::Junction) ++count;
-  }
-  return count;
-}
+int MicroSim::vehicles_in_network() const { return in_network_count_; }
 
 std::vector<double> MicroSim::lane_positions(LinkId link) const {
   const LinkRt& lrt = links_[link.index()];
@@ -168,7 +168,7 @@ int MicroSim::link_queued_count(LinkId link, double threshold_mps) const {
   int count = 0;
   for (VehicleId vid : lane.vehicles) {
     const Veh& v = vehicles_[vid.index()];
-    if (v.speed < threshold_mps && movement_of(v, lrt.from_road) == link) ++count;
+    if (v.speed < threshold_mps && v.next_link == link) ++count;
   }
   return count;
 }
@@ -190,24 +190,24 @@ bool MicroSim::entry_clear(const RoadRt& rt, int lane_index) const {
   return rear.pos - config_.vehicle.length_m >= config_.vehicle.min_gap_m + 0.5;
 }
 
-core::IntersectionObservation MicroSim::observe(const net::Intersection& node) {
-  core::IntersectionObservation obs;
+const core::IntersectionObservation& MicroSim::observe(const net::Intersection& node) {
+  core::IntersectionObservation& obs = obs_scratch_;
   obs.time = now_;
+  obs.links.clear();
   obs.links.reserve(node.links.size());
   for (LinkId lid : node.links) {
     const net::Link& link = net_.link(lid);
     core::LinkState state;
     // Queue readings pass through the detector model; occupancy and
-    // capacities are physical state, never perturbed.
-    state.queue = core::measure_queue(
-        link_queued_count(lid, config_.approach_queue_threshold_mps), config_.sensor, rng_);
-    state.upstream_total = core::measure_queue(
-        road_queued_count(link.from_road, config_.approach_queue_threshold_mps),
-        config_.sensor, rng_);
+    // capacities are physical state, never perturbed. True counts come from
+    // the control-step memo tables (refresh_queue_memo), not per-link scans.
+    state.queue =
+        core::measure_queue(link_queued_approach_[lid.index()], config_.sensor, rng_);
+    state.upstream_total = core::measure_queue(road_queued_approach_[link.from_road.index()],
+                                               config_.sensor, rng_);
     state.upstream_capacity = net_.road(link.from_road).capacity;
     state.downstream_queue = core::measure_queue(
-        road_queued_count(link.to_road, config_.congestion_queue_threshold_mps),
-        config_.sensor, rng_);
+        road_queued_congestion_[link.to_road.index()], config_.sensor, rng_);
     state.downstream_total = roads_[link.to_road.index()].occupancy;
     state.downstream_capacity = net_.road(link.to_road).capacity;
     state.service_rate = link.service_rate;
@@ -231,14 +231,25 @@ void MicroSim::control_step() {
   }
 }
 
+VehicleId MicroSim::alloc_vehicle() {
+  if (!free_slots_.empty()) {
+    const VehicleId vid(free_slots_.back());
+    free_slots_.pop_back();
+    vehicles_[vid.index()] = Veh{};
+    return vid;
+  }
+  vehicles_.emplace_back();
+  return VehicleId(static_cast<VehicleId::value_type>(vehicles_.size() - 1));
+}
+
 void MicroSim::admit_spawns() {
   for (const traffic::SpawnRequest& req : demand_.poll(now_, now_ + config_.dt_s)) {
-    VehicleId vid(static_cast<std::uint32_t>(vehicles_.size()));
-    Veh v;
+    const VehicleId vid = alloc_vehicle();
+    Veh& v = vehicles_[vid.index()];
     v.route = req.route;
+    v.spawn_seq = result_.metrics.generated;
     v.loc = Loc::Outside;
     v.road = req.entry;
-    vehicles_.push_back(std::move(v));
     result_.metrics.generated += 1;
     roads_[req.entry.index()].buffer.push_back(vid);
   }
@@ -249,13 +260,15 @@ void MicroSim::admit_spawns() {
     // length, so a vehicle waiting for a full lane does not physically block
     // vehicles headed for the other lanes. Order is preserved within each
     // lane; a lane that rejects its first candidate admits nobody this step.
-    std::array<bool, 4> lane_blocked{};
+    // The scratch is sized to the widest road of the network (build_runtime),
+    // never to a fixed lane count.
+    std::fill(lane_blocked_.begin(), lane_blocked_.begin() + rt.lanes.size(), 0);
     for (auto it = rt.buffer.begin(); it != rt.buffer.end() && rt.occupancy < capacity;) {
       const VehicleId vid = *it;
       Veh& v = vehicles_[vid.index()];
       const int lane = lane_index_for_turn(entry, v.route.turns.front());
-      if (lane_blocked[static_cast<std::size_t>(lane)] || !entry_clear(rt, lane)) {
-        lane_blocked[static_cast<std::size_t>(lane)] = true;
+      if (lane_blocked_[static_cast<std::size_t>(lane)] || !entry_clear(rt, lane)) {
+        lane_blocked_[static_cast<std::size_t>(lane)] = 1;
         ++it;
         continue;
       }
@@ -266,11 +279,15 @@ void MicroSim::admit_spawns() {
       v.pos = 0.0;
       v.speed = std::min(config_.insertion_speed_mps, net_.road(entry).speed_limit_mps);
       v.entry_time = now_;
+      if (const std::optional<LinkId> movement = movement_of(v, entry)) {
+        v.next_link = *movement;
+      }
+      in_network_count_ += 1;
       rt.lanes[static_cast<std::size_t>(lane)].vehicles.push_back(vid);
       result_.metrics.entered += 1;
       // The lane just received a vehicle at its entry point; nobody else fits
       // behind it this step.
-      lane_blocked[static_cast<std::size_t>(lane)] = true;
+      lane_blocked_[static_cast<std::size_t>(lane)] = 1;
     }
     result_.metrics.entry_blocked_time_s +=
         static_cast<double>(rt.buffer.size()) * config_.dt_s;
@@ -324,6 +341,12 @@ bool MicroSim::try_grant(VehicleId vid, LinkId link) {
   v.road = to_road;
   v.lane = target_lane;
   v.next_turn = next;
+  v.next_link = LinkId{};
+  if (!net_.road(to_road).is_exit()) {
+    if (const std::optional<LinkId> movement = movement_of(v, to_road)) {
+      v.next_link = *movement;
+    }
+  }
   return true;
 }
 
@@ -337,31 +360,43 @@ void MicroSim::update_lane(const net::Road& road, Lane& lane) {
   if (!lane.vehicles.empty() && !road.is_exit()) {
     const VehicleId vid = lane.vehicles.front();
     Veh& v = vehicles_[vid.index()];
-    const std::optional<LinkId> head_link =
-        lane.link ? lane.link : movement_of(v, road.id);
-    if (head_link && v.pos >= road.length_m - config_.service_zone_m &&
-        try_grant(vid, *head_link)) {
+    const LinkId head_link = lane.link ? *lane.link : v.next_link;
+    if (head_link.valid() && v.pos >= road.length_m - config_.service_zone_m &&
+        try_grant(vid, head_link)) {
       v.loc = Loc::Junction;
       v.junction_exit = now_ + config_.junction_crossing_s;
       v.speed = config_.insertion_speed_mps;
       roads_[road.id.index()].occupancy -= 1;
       in_junction_.push_back(vid);
-      lane.vehicles.erase(lane.vehicles.begin());
+      lane.vehicles.pop_front();
     }
   }
 
+  // Hot loop: hoist config reads and carry the leader across iterations, so
+  // each vehicle costs one Krauss update and no repeated indexing. Vehicle
+  // storage is not reallocated inside this loop, so the pointer stays valid.
+  const double dt = config_.dt_s;
+  const double vehicle_length = config_.vehicle.length_m;
+  const double min_gap = config_.vehicle.min_gap_m;
+  const bool dawdling = config_.vehicle.sigma > 0.0;
+  const bool is_exit = road.is_exit();
+  const bool count_queues = memo_pending_;
+  const bool dedicated = lane.link.has_value();
+  const LinkId lane_link = dedicated ? *lane.link : LinkId{};
+  const std::size_t road_index = road.id.index();
   bool head_completed = false;
-  for (std::size_t i = 0; i < lane.vehicles.size(); ++i) {
+  const Veh* leader = nullptr;
+  const std::size_t n = lane.vehicles.size();
+  for (std::size_t i = 0; i < n; ++i) {
     const VehicleId vid = lane.vehicles[i];
     Veh& v = vehicles_[vid.index()];
     double gap;
     double leader_speed;
 
-    if (i > 0) {
-      const Veh& leader = vehicles_[lane.vehicles[i - 1].index()];
-      gap = leader.pos - config_.vehicle.length_m - v.pos - config_.vehicle.min_gap_m;
-      leader_speed = leader.speed;
-    } else if (road.is_exit()) {
+    if (leader != nullptr) {
+      gap = leader->pos - vehicle_length - v.pos - min_gap;
+      leader_speed = leader->speed;
+    } else if (is_exit) {
       gap = kFreeGap;  // drives off the far end
       leader_speed = 0.0;
     } else {
@@ -371,35 +406,63 @@ void MicroSim::update_lane(const net::Road& road, Lane& lane) {
       leader_speed = 0.0;
     }
 
-    const double dawdle = config_.vehicle.sigma > 0.0 ? rng_.uniform01() : 0.0;
+    const double dawdle = dawdling ? rng_.uniform01() : 0.0;
     v.speed = next_speed(v.speed, gap, leader_speed, road.speed_limit_mps, config_.vehicle,
-                         config_.dt_s, dawdle);
-    v.pos += v.speed * config_.dt_s;
+                         dt, dawdle);
+    v.pos += v.speed * dt;
 
-    if (i > 0) {
+    if (leader != nullptr) {
       // Numerical guard: never overlap the leader.
-      const Veh& leader = vehicles_[lane.vehicles[i - 1].index()];
-      const double limit = leader.pos - config_.vehicle.length_m - 0.1;
+      const double limit = leader->pos - vehicle_length - 0.1;
       if (v.pos > limit) {
         v.pos = std::max(0.0, limit);
-        v.speed = std::min(v.speed, leader.speed);
+        v.speed = std::min(v.speed, leader->speed);
       }
-    } else if (!road.is_exit() && v.pos > road.length_m - 0.2) {
+    } else if (!is_exit && v.pos > road.length_m - 0.2) {
       v.pos = road.length_m - 0.2;  // hold at the stop line
       v.speed = 0.0;
     }
 
-    if (road.is_exit() && i == 0 && v.pos >= road.length_m) {
+    if (is_exit && i == 0 && v.pos >= road.length_m) {
       complete_vehicle(vid);
       head_completed = true;
+    } else {
+      if (v.speed < config_.waiting_speed_threshold_mps) {
+        // Waiting-time accumulation, folded into the lane update so the
+        // per-tick cost is O(active vehicles), never O(vehicles ever spawned).
+        v.waiting_time += dt;
+      }
+      if (count_queues) {
+        // Queued-count memo for next step's controller decisions; a vehicle
+        // that just completed is gone by decision time and must not count.
+        if (v.speed < config_.approach_queue_threshold_mps) {
+          road_queued_approach_[road_index] += 1;
+          const LinkId movement = dedicated ? lane_link : v.next_link;
+          if (movement.valid()) link_queued_approach_[movement.index()] += 1;
+        }
+        if (v.speed < config_.congestion_queue_threshold_mps) {
+          road_queued_congestion_[road_index] += 1;
+        }
+      }
     }
+    leader = &v;
   }
   if (head_completed) {
-    lane.vehicles.erase(lane.vehicles.begin());
+    lane.vehicles.pop_front();
   }
 }
 
 void MicroSim::update_roads() {
+  // When the next step opens with a controller decision, the queued-count
+  // memo tables are rebuilt during this sweep — the vehicles are already in
+  // cache here, so observe() never needs a separate scan. The predicate is
+  // bit-identical to next step's control check (same addition, same compare).
+  memo_pending_ = now_ + config_.dt_s >= next_control_;
+  if (memo_pending_) {
+    std::fill(road_queued_approach_.begin(), road_queued_approach_.end(), 0);
+    std::fill(road_queued_congestion_.begin(), road_queued_congestion_.end(), 0);
+    std::fill(link_queued_approach_.begin(), link_queued_approach_.end(), 0);
+  }
   for (const net::Road& road : net_.roads()) {
     for (Lane& lane : roads_[road.id.index()].lanes) {
       update_lane(road, lane);
@@ -411,9 +474,13 @@ void MicroSim::complete_vehicle(VehicleId vid) {
   Veh& v = vehicles_[vid.index()];
   v.loc = Loc::Done;
   roads_[v.road.index()].occupancy -= 1;
+  in_network_count_ -= 1;
   result_.metrics.completed += 1;
   result_.metrics.queuing_time_s.add(v.waiting_time);
   result_.metrics.travel_time_s.add(now_ - v.entry_time);
+  // The slot becomes reusable next step; update_lane pops the id from its
+  // lane before any new vehicle can claim it (admission runs pre-update).
+  free_slots_.push_back(vid.value());
 }
 
 void MicroSim::sample_watches() {
@@ -438,11 +505,6 @@ void MicroSim::step() {
   admit_spawns();
   release_junction_vehicles();
   update_roads();
-  for (Veh& v : vehicles_) {
-    if (v.loc == Loc::Lane && v.speed < config_.waiting_speed_threshold_mps) {
-      v.waiting_time += config_.dt_s;
-    }
-  }
   now_ += config_.dt_s;
 }
 
@@ -455,8 +517,17 @@ stats::RunResult& MicroSim::run_until(double until_s) {
 stats::RunResult MicroSim::finish(double duration_s) {
   run_until(duration_s);
   finished_ = true;
-  for (Veh& v : vehicles_) {
+  // Close open records in spawn order: slot recycling permutes vehicle
+  // indices, and the metric SampleSets are floating-point order-sensitive.
+  std::vector<std::pair<std::uint64_t, VehicleId>> open;
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    const Veh& v = vehicles_[i];
     if (v.loc != Loc::Lane && v.loc != Loc::Junction) continue;
+    open.emplace_back(v.spawn_seq, VehicleId(static_cast<VehicleId::value_type>(i)));
+  }
+  std::sort(open.begin(), open.end());
+  for (const auto& [seq, vid] : open) {
+    Veh& v = vehicles_[vid.index()];
     result_.metrics.in_network_at_end += 1;
     result_.metrics.queuing_time_s.add(v.waiting_time);
     result_.metrics.travel_time_s.add(now_ - v.entry_time);

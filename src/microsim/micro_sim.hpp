@@ -38,6 +38,7 @@
 #include "src/stats/run_result.hpp"
 #include "src/traffic/demand.hpp"
 #include "src/util/rng.hpp"
+#include "src/util/vec_queue.hpp"
 
 namespace abp::microsim {
 
@@ -78,6 +79,9 @@ class MicroSim {
 
   struct Veh {
     traffic::Route route;
+    // Global spawn ordinal. Slot recycling permutes vehicle indices, so
+    // order-sensitive end-of-run bookkeeping sorts by this instead.
+    std::uint64_t spawn_seq = 0;
     std::size_t next_turn = 0;
     Loc loc = Loc::Outside;
     RoadId road;      // current road (Loc::Lane) or target road (Loc::Junction)
@@ -87,13 +91,18 @@ class MicroSim {
     double junction_exit = 0.0;  // time the junction box releases the vehicle
     double entry_time = 0.0;
     double waiting_time = 0.0;
+    // Resolved movement the vehicle takes at the end of its current road;
+    // invalid on exit roads or when the route commands a missing movement.
+    // Kept in sync with (road, next_turn) so mixed-lane queue counting never
+    // re-resolves the movement per query.
+    LinkId next_link;
   };
 
   struct Lane {
     // Movement this lane feeds; empty for the single lane of an exit road.
     std::optional<LinkId> link;
-    // Vehicles ordered head (largest pos) first.
-    std::vector<VehicleId> vehicles;
+    // Vehicles ordered head (largest pos) first; O(1) head pops.
+    VecQueue<VehicleId> vehicles;
   };
 
   struct RoadRt {
@@ -120,6 +129,9 @@ class MicroSim {
   void build_runtime();
   void step();
   void control_step();
+  // Allocates a vehicle slot, reusing a completed vehicle's slot when one is
+  // free so storage stays O(peak active + waiting), not O(history).
+  [[nodiscard]] VehicleId alloc_vehicle();
   void admit_spawns();
   void release_junction_vehicles();
   void update_roads();
@@ -129,7 +141,9 @@ class MicroSim {
   bool try_grant(VehicleId vid, LinkId link);
   void complete_vehicle(VehicleId vid);
   void sample_watches();
-  [[nodiscard]] core::IntersectionObservation observe(const net::Intersection& node);
+  // Fills and returns the reusable observation buffer (valid until the next
+  // observe() call); avoids re-allocating the link array per decision.
+  [[nodiscard]] const core::IntersectionObservation& observe(const net::Intersection& node);
   [[nodiscard]] int lane_index_for_turn(RoadId road, net::Turn turn) const;
   [[nodiscard]] int road_vehicle_count(RoadId road) const;
   // Queue-length detector: vehicles on the lane moving slower than the given
@@ -156,11 +170,27 @@ class MicroSim {
   double next_sample_ = 0.0;
 
   std::vector<Veh> vehicles_;
+  // Slots of completed vehicles available for reuse.
+  std::vector<VehicleId::value_type> free_slots_;
+  // Vehicles with Loc::Lane or Loc::Junction, maintained incrementally.
+  int in_network_count_ = 0;
   std::vector<RoadRt> roads_;
   std::vector<LinkRt> links_;
   std::vector<net::PhaseIndex> displayed_;
   // Vehicles currently inside a junction box, unordered.
   std::vector<VehicleId> in_junction_;
+  // Control-step memo tables: queued counts per road (both detector
+  // thresholds) and per link (approach threshold). Rebuilt during the lane
+  // sweep of the tick preceding each control step (memo_pending_), where the
+  // vehicles are already in cache, so observe() is pure table reads.
+  std::vector<int> road_queued_approach_;
+  std::vector<int> road_queued_congestion_;
+  std::vector<int> link_queued_approach_;
+  bool memo_pending_ = false;
+  // Per-entry-road admission scratch, sized to the widest road once.
+  std::vector<char> lane_blocked_;
+  // Reused by observe() so the per-decision link array is allocated once.
+  core::IntersectionObservation obs_scratch_;
 
   std::vector<Watch> watches_;
   stats::RunResult result_;

@@ -62,7 +62,72 @@ void Network::finalize(Handedness handedness, double default_service_rate) {
     build_links_for(node, default_service_rate);
     build_standard_phases(node);
   }
+  build_topology_index();
   finalized_ = true;
+}
+
+void Network::build_topology_index() {
+  // road x turn -> link table and CSR "links leaving road r" spans. Links are
+  // created in ascending id order and, within one approach, in kAllTurns
+  // order, so filling in id order yields turn-ordered per-road spans.
+  link_by_road_turn_.assign(roads_.size() * kAllTurns.size(), LinkId{});
+  links_from_offset_.assign(roads_.size() + 1, 0);
+  for (const Link& l : links_) {
+    link_by_road_turn_[l.from_road.index() * kAllTurns.size() +
+                       static_cast<std::size_t>(l.turn)] = l.id;
+    links_from_offset_[l.from_road.index() + 1] += 1;
+  }
+  for (std::size_t r = 0; r < roads_.size(); ++r) {
+    links_from_offset_[r + 1] += links_from_offset_[r];
+  }
+  links_from_flat_.resize(links_.size());
+  std::vector<std::uint32_t> cursor(links_from_offset_.begin(),
+                                    links_from_offset_.end() - 1);
+  for (const Link& l : links_) {
+    links_from_flat_[cursor[l.from_road.index()]++] = l.id;
+  }
+
+  for (const Road& r : roads_) {
+    if (r.is_entry()) {
+      entry_roads_.push_back(r.id);
+      entry_roads_by_side_[static_cast<std::size_t>(r.arrival_side)].push_back(r.id);
+    }
+    if (r.is_exit()) exit_roads_.push_back(r.id);
+  }
+
+  // Dense grid lookup; first registration wins on duplicate coordinates,
+  // matching the old linear scan. Callers may pass arbitrary coordinates to
+  // add_intersection, so only build the dense table when it stays reasonably
+  // packed; degenerate sparse coordinates fall back to a linear-scan
+  // at_grid (a cold path — the simulators never call it per tick).
+  for (const Intersection& node : intersections_) {
+    if (node.grid_row < 0 || node.grid_col < 0) continue;
+    grid_rows_ = std::max(grid_rows_, node.grid_row + 1);
+    grid_cols_ = std::max(grid_cols_, node.grid_col + 1);
+  }
+  const std::size_t cells = static_cast<std::size_t>(grid_rows_) *
+                            static_cast<std::size_t>(grid_cols_);
+  const std::size_t dense_cap = std::max<std::size_t>(1024, intersections_.size() * 16);
+  if (cells > dense_cap) {
+    grid_rows_ = 0;
+    grid_cols_ = 0;
+    return;
+  }
+  grid_lookup_.assign(cells, IntersectionId{});
+  for (const Intersection& node : intersections_) {
+    if (node.grid_row < 0 || node.grid_col < 0) continue;
+    IntersectionId& slot =
+        grid_lookup_[static_cast<std::size_t>(node.grid_row) *
+                         static_cast<std::size_t>(grid_cols_) +
+                     static_cast<std::size_t>(node.grid_col)];
+    if (!slot.valid()) slot = node.id;
+  }
+}
+
+void Network::require_finalized(const char* what) const {
+  if (!finalized_) {
+    throw std::logic_error(std::string("Network::") + what + " before finalize");
+  }
 }
 
 void Network::build_links_for(Intersection& node, double default_service_rate) {
@@ -124,50 +189,51 @@ void Network::build_standard_phases(Intersection& node) const {
   }
 }
 
-std::vector<RoadId> Network::entry_roads() const {
-  std::vector<RoadId> result;
-  for (const Road& r : roads_) {
-    if (r.is_entry()) result.push_back(r.id);
-  }
-  return result;
+const std::vector<RoadId>& Network::entry_roads() const {
+  require_finalized("entry_roads");
+  return entry_roads_;
 }
 
-std::vector<RoadId> Network::entry_roads_on(Side s) const {
-  std::vector<RoadId> result;
-  for (const Road& r : roads_) {
-    if (r.is_entry() && r.arrival_side == s) result.push_back(r.id);
-  }
-  return result;
+const std::vector<RoadId>& Network::entry_roads_on(Side s) const {
+  require_finalized("entry_roads_on");
+  return entry_roads_by_side_[static_cast<std::size_t>(s)];
 }
 
-std::vector<RoadId> Network::exit_roads() const {
-  std::vector<RoadId> result;
-  for (const Road& r : roads_) {
-    if (r.is_exit()) result.push_back(r.id);
-  }
-  return result;
+const std::vector<RoadId>& Network::exit_roads() const {
+  require_finalized("exit_roads");
+  return exit_roads_;
 }
 
 std::optional<LinkId> Network::find_link(RoadId from_road, Turn turn) const {
-  for (const Link& l : links_) {
-    if (l.from_road == from_road && l.turn == turn) return l.id;
-  }
-  return std::nullopt;
+  require_finalized("find_link");
+  const LinkId id = link_by_road_turn_[from_road.index() * kAllTurns.size() +
+                                       static_cast<std::size_t>(turn)];
+  if (!id.valid()) return std::nullopt;
+  return id;
 }
 
-std::vector<LinkId> Network::links_from(RoadId from_road) const {
-  std::vector<LinkId> result;
-  for (const Link& l : links_) {
-    if (l.from_road == from_road) result.push_back(l.id);
-  }
-  return result;
+std::span<const LinkId> Network::links_from(RoadId from_road) const {
+  require_finalized("links_from");
+  const std::uint32_t begin = links_from_offset_[from_road.index()];
+  const std::uint32_t end = links_from_offset_[from_road.index() + 1];
+  return {links_from_flat_.data() + begin, links_from_flat_.data() + end};
 }
 
 std::optional<IntersectionId> Network::at_grid(int row, int col) const {
-  for (const Intersection& node : intersections_) {
-    if (node.grid_row == row && node.grid_col == col) return node.id;
+  require_finalized("at_grid");
+  if (grid_lookup_.empty()) {
+    // Sparse-coordinate fallback (dense table was skipped at finalize).
+    for (const Intersection& node : intersections_) {
+      if (node.grid_row == row && node.grid_col == col) return node.id;
+    }
+    return std::nullopt;
   }
-  return std::nullopt;
+  if (row < 0 || col < 0 || row >= grid_rows_ || col >= grid_cols_) return std::nullopt;
+  const IntersectionId id = grid_lookup_[static_cast<std::size_t>(row) *
+                                             static_cast<std::size_t>(grid_cols_) +
+                                         static_cast<std::size_t>(col)];
+  if (!id.valid()) return std::nullopt;
+  return id;
 }
 
 }  // namespace abp::net

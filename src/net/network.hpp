@@ -7,7 +7,9 @@
 // standard Fig.-1 phase table. After finalize() the structure is immutable.
 #pragma once
 
+#include <array>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -54,19 +56,26 @@ class Network {
   [[nodiscard]] Road& road_mut(RoadId id) { return roads_.at(id.index()); }
   [[nodiscard]] Link& link_mut(LinkId id) { return links_.at(id.index()); }
 
+  // Topology queries. All of them are O(1) reads of index tables built once
+  // by finalize(); calling them on a non-finalized network throws
+  // std::logic_error. The simulators hit these on every tick, so none of
+  // them may scan or allocate.
+
   // All roads on which vehicles enter the network (no upstream junction).
-  [[nodiscard]] std::vector<RoadId> entry_roads() const;
+  [[nodiscard]] const std::vector<RoadId>& entry_roads() const;
   // Entry roads whose junction approach is on boundary side `s` (i.e. traffic
   // entering "from the North" arrives on the North side of its junction).
-  [[nodiscard]] std::vector<RoadId> entry_roads_on(Side s) const;
+  [[nodiscard]] const std::vector<RoadId>& entry_roads_on(Side s) const;
   // All roads on which vehicles leave the network.
-  [[nodiscard]] std::vector<RoadId> exit_roads() const;
+  [[nodiscard]] const std::vector<RoadId>& exit_roads() const;
 
   // The movement leaving `from_road` with the given geometric turn, if it
   // exists. Used by the router to walk vehicles through the grid.
   [[nodiscard]] std::optional<LinkId> find_link(RoadId from_road, Turn turn) const;
-  // All movements whose incoming road is `from_road`.
-  [[nodiscard]] std::vector<LinkId> links_from(RoadId from_road) const;
+  // All movements whose incoming road is `from_road`, in turn order
+  // (Left, Straight, Right). Points into the CSR index; valid as long as the
+  // network lives.
+  [[nodiscard]] std::span<const LinkId> links_from(RoadId from_road) const;
 
   // Junction at the given grid coordinates, if the network was grid-built.
   [[nodiscard]] std::optional<IntersectionId> at_grid(int row, int col) const;
@@ -74,12 +83,31 @@ class Network {
  private:
   void build_links_for(Intersection& node, double default_service_rate);
   void build_standard_phases(Intersection& node) const;
+  // Builds the runtime topology index (link table, CSR spans, cached road
+  // lists, grid lookup). Called once, at the end of finalize().
+  void build_topology_index();
+  void require_finalized(const char* what) const;
 
   std::vector<Road> roads_;
   std::vector<Link> links_;
   std::vector<Intersection> intersections_;
   Handedness handedness_ = Handedness::LeftHand;
   bool finalized_ = false;
+
+  // --- finalized-time topology index ---
+  // road x turn -> link id; invalid when the movement does not exist.
+  std::vector<LinkId> link_by_road_turn_;
+  // CSR layout of "links leaving road r": links_from_flat_[links_from_offset_[r]
+  // .. links_from_offset_[r+1]) in turn order.
+  std::vector<LinkId> links_from_flat_;
+  std::vector<std::uint32_t> links_from_offset_;
+  std::vector<RoadId> entry_roads_;
+  std::array<std::vector<RoadId>, 4> entry_roads_by_side_;
+  std::vector<RoadId> exit_roads_;
+  // Dense (row, col) -> junction lookup for grid-built networks.
+  int grid_rows_ = 0;
+  int grid_cols_ = 0;
+  std::vector<IntersectionId> grid_lookup_;
 };
 
 }  // namespace abp::net

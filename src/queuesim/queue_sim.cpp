@@ -21,6 +21,7 @@ QueueSim::QueueSim(const net::Network& network, QueueSimConfig config,
   links_.resize(net_.links().size());
   displayed_.assign(net_.intersections().size(), net::kTransitionPhase);
   entry_buffer_.resize(net_.roads().size());
+  road_queued_.assign(net_.roads().size(), 0);
   result_.phase_traces.resize(net_.intersections().size());
 }
 
@@ -39,25 +40,14 @@ net::PhaseIndex QueueSim::displayed_phase(IntersectionId node) const {
   return displayed_[node.index()];
 }
 
-int QueueSim::vehicles_in_network() const {
-  int count = 0;
-  for (const VehicleRecord& v : vehicles_) {
-    if (v.in_network) ++count;
-  }
-  return count;
-}
+int QueueSim::vehicles_in_network() const { return in_network_count_; }
 
-int QueueSim::queued_on_road(RoadId road) const {
-  int total = 0;
-  for (LinkId lid : net_.links_from(road)) {
-    total += static_cast<int>(links_[lid.index()].queue.size());
-  }
-  return total;
-}
+int QueueSim::queued_on_road(RoadId road) const { return road_queued_[road.index()]; }
 
-core::IntersectionObservation QueueSim::observe(const net::Intersection& node) const {
-  core::IntersectionObservation obs;
+const core::IntersectionObservation& QueueSim::observe(const net::Intersection& node) {
+  core::IntersectionObservation& obs = obs_scratch_;
   obs.time = now_;
+  obs.links.clear();
   obs.links.reserve(node.links.size());
   for (LinkId lid : node.links) {
     const net::Link& link = net_.link(lid);
@@ -99,23 +89,37 @@ void QueueSim::route_vehicle_into_queue(VehicleId vid, RoadId road) {
   const std::optional<LinkId> link = net_.find_link(road, turn);
   if (!link) throw std::logic_error("route commands a missing movement");
   links_[link->index()].queue.push_back(vid);
+  road_queued_[road.index()] += 1;
 }
 
 void QueueSim::complete_vehicle(VehicleId vid) {
   VehicleRecord& v = vehicles_[vid.index()];
   v.in_network = false;
+  in_network_count_ -= 1;
   result_.metrics.completed += 1;
   result_.metrics.queuing_time_s.add(v.queue_time);
   result_.metrics.travel_time_s.add(now_ - v.entry_time);
+  free_slots_.push_back(vid.value());
+}
+
+VehicleId QueueSim::alloc_vehicle() {
+  if (!free_slots_.empty()) {
+    const VehicleId vid(free_slots_.back());
+    free_slots_.pop_back();
+    vehicles_[vid.index()] = VehicleRecord{};
+    return vid;
+  }
+  vehicles_.emplace_back();
+  return VehicleId(static_cast<VehicleId::value_type>(vehicles_.size() - 1));
 }
 
 void QueueSim::admit_spawns(double from, double to) {
   for (const traffic::SpawnRequest& req : demand_.poll(from, to)) {
-    VehicleId vid(static_cast<std::uint32_t>(vehicles_.size()));
-    VehicleRecord rec;
+    const VehicleId vid = alloc_vehicle();
+    VehicleRecord& rec = vehicles_[vid.index()];
     rec.route = req.route;
+    rec.spawn_seq = result_.metrics.generated;
     rec.entry_time = req.time;
-    vehicles_.push_back(std::move(rec));
     result_.metrics.generated += 1;
     entry_buffer_[req.entry.index()].push_back(vid);
   }
@@ -129,6 +133,7 @@ void QueueSim::admit_spawns(double from, double to) {
       buffer.pop_front();
       VehicleRecord& v = vehicles_[vid.index()];
       v.in_network = true;
+      in_network_count_ += 1;
       v.entry_time = now_;  // waiting outside the network is not queuing time
       road.occupancy += 1;
       road.transit.push_back({now_ + net_.road(entry).free_flow_time_s(), vid});
@@ -173,6 +178,7 @@ void QueueSim::serve_links() {
       while (lq.credit >= 1.0 && !lq.queue.empty() && downstream.occupancy < downstream_cap) {
         const VehicleId vid = lq.queue.front();
         lq.queue.pop_front();
+        road_queued_[link.from_road.index()] -= 1;
         lq.credit -= 1.0;
         roads_[link.from_road.index()].occupancy -= 1;
         downstream.occupancy += 1;
@@ -226,10 +232,19 @@ stats::RunResult& QueueSim::run_until(double until_s) {
 stats::RunResult QueueSim::finish(double duration_s) {
   run_until(duration_s);
   finished_ = true;
-  for (VehicleRecord& v : vehicles_) {
-    if (!v.in_network) continue;
-    // Close open records so heavy congestion is visible in the metric rather
-    // than silently dropped.
+  // Close open records so heavy congestion is visible in the metric rather
+  // than silently dropped. Closing happens in spawn order: slot recycling
+  // permutes vehicle indices, and the metric SampleSets are floating-point
+  // order-sensitive.
+  std::vector<std::pair<std::uint64_t, VehicleId>> open;
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    if (!vehicles_[i].in_network) continue;
+    open.emplace_back(vehicles_[i].spawn_seq,
+                      VehicleId(static_cast<VehicleId::value_type>(i)));
+  }
+  std::sort(open.begin(), open.end());
+  for (const auto& [seq, vid] : open) {
+    VehicleRecord& v = vehicles_[vid.index()];
     result_.metrics.in_network_at_end += 1;
     result_.metrics.queuing_time_s.add(v.queue_time);
     result_.metrics.travel_time_s.add(now_ - v.entry_time);

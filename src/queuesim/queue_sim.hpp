@@ -15,7 +15,6 @@
 // (src/microsim) is the SUMO substitute used for the headline experiments.
 #pragma once
 
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -23,6 +22,7 @@
 #include "src/net/network.hpp"
 #include "src/stats/run_result.hpp"
 #include "src/traffic/demand.hpp"
+#include "src/util/vec_queue.hpp"
 
 namespace abp::queuesim {
 
@@ -67,6 +67,9 @@ class QueueSim {
  private:
   struct VehicleRecord {
     traffic::Route route;
+    // Global spawn ordinal. Slot recycling permutes vehicle indices, so
+    // order-sensitive end-of-run bookkeeping sorts by this instead.
+    std::uint64_t spawn_seq = 0;
     std::size_t next_turn = 0;
     double entry_time = 0.0;
     double queue_time = 0.0;
@@ -80,13 +83,13 @@ class QueueSim {
 
   struct RoadState {
     // Vehicles driving toward the stop line (constant free-flow delay), FIFO.
-    std::deque<TransitEntry> transit;
+    VecQueue<TransitEntry> transit;
     // Occupancy counter: transit + all link queues + junction hand-off slots.
     int occupancy = 0;
   };
 
   struct LinkQueueState {
-    std::deque<VehicleId> queue;
+    VecQueue<VehicleId> queue;
     // Fractional service credit; replenished while green, capped at one burst.
     double credit = 0.0;
   };
@@ -98,6 +101,9 @@ class QueueSim {
 
   void step();
   void control_step();
+  // Allocates a vehicle slot, reusing a completed vehicle's slot when one is
+  // free so storage stays O(peak active + waiting), not O(history).
+  [[nodiscard]] VehicleId alloc_vehicle();
   void admit_spawns(double from, double to);
   void process_transits();
   void serve_links();
@@ -105,7 +111,9 @@ class QueueSim {
   void sample_watches();
   void route_vehicle_into_queue(VehicleId vid, RoadId road);
   void complete_vehicle(VehicleId vid);
-  [[nodiscard]] core::IntersectionObservation observe(const net::Intersection& node) const;
+  // Fills and returns the reusable observation buffer (valid until the next
+  // observe() call); avoids re-allocating the link array per decision.
+  [[nodiscard]] const core::IntersectionObservation& observe(const net::Intersection& node);
   [[nodiscard]] int queued_on_road(RoadId road) const;
 
   const net::Network& net_;
@@ -121,10 +129,19 @@ class QueueSim {
   std::vector<LinkQueueState> links_;
   std::vector<net::PhaseIndex> displayed_;  // per intersection
   std::vector<VehicleRecord> vehicles_;
+  // Slots of completed vehicles available for reuse.
+  std::vector<VehicleId::value_type> free_slots_;
+  // Vehicles inside the network, maintained incrementally.
+  int in_network_count_ = 0;
+  // Vehicles queued at the stop line of each road (sum over its movement
+  // queues), maintained incrementally so observe() is O(1) per reading.
+  std::vector<int> road_queued_;
   // Spawns waiting for space on their (full) entry road, FIFO per road.
-  std::vector<std::deque<VehicleId>> entry_buffer_;
+  std::vector<VecQueue<VehicleId>> entry_buffer_;
 
   std::vector<Watch> watches_;
+  // Reused by observe() so the per-decision link array is allocated once.
+  core::IntersectionObservation obs_scratch_;
   stats::RunResult result_;
   bool finished_ = false;
 };

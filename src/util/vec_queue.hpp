@@ -1,0 +1,58 @@
+// Index-based FIFO queue on contiguous storage.
+//
+// The simulators' lane and transit queues need O(1) pop_front, O(1) amortized
+// push_back, indexed access and forward iteration — the access mix of a
+// stop-line queue that is scanned every tick. std::vector front-erases are
+// O(n) per pop; std::deque has O(1) pops but pays block-pointer indirection
+// on every scan of a queue of 4-byte ids. VecQueue keeps a head cursor into a
+// plain vector and compacts lazily once the dead prefix outweighs the live
+// payload, so every operation is amortized O(1) with vector locality.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace abp {
+
+template <typename T>
+class VecQueue {
+ public:
+  using const_iterator = typename std::vector<T>::const_iterator;
+
+  [[nodiscard]] bool empty() const noexcept { return head_ == buf_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size() - head_; }
+  [[nodiscard]] const T& front() const noexcept { return buf_[head_]; }
+  [[nodiscard]] const T& back() const noexcept { return buf_.back(); }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return buf_[head_ + i];
+  }
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return buf_[head_ + i]; }
+
+  void push_back(const T& value) { buf_.push_back(value); }
+
+  void pop_front() {
+    ++head_;
+    // Compact once more than half the buffer is dead prefix; the memmove is
+    // amortized over at least as many pops, keeping pop_front O(1).
+    if (head_ >= 32 && head_ * 2 >= buf_.size()) {
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  void clear() noexcept {
+    buf_.clear();
+    head_ = 0;
+  }
+
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return buf_.begin() + static_cast<std::ptrdiff_t>(head_);
+  }
+  [[nodiscard]] const_iterator end() const noexcept { return buf_.end(); }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace abp

@@ -1,0 +1,102 @@
+// Golden determinism pins for the hot-path refactors.
+//
+// Perf work on the simulators (topology indexing, active-vehicle tracking,
+// O(1) lane queues, observation memoization) must be *provably* behavior
+// preserving: for a fixed seed, both simulators must produce bit-identical
+// RunResult metrics before and after any such refactor. These tests pin the
+// exact metric values of a 2x2-grid run for each simulator, plus run-to-run
+// determinism.
+//
+// The microscopic run deliberately uses an imperfect sensor model: with
+// detection_probability < 1, measure_queue() draws one Bernoulli per *truly
+// queued vehicle* per reading, so the RNG stream consumption depends on every
+// queue count the simulator produces. Any refactor that perturbs queue
+// counting, observation order, or RNG call order shifts the dawdle stream and
+// changes these numbers.
+//
+// If a deliberate behavior change invalidates the pins, re-capture them with
+// the printed actuals — but only after convincing yourself the change is
+// intended (see docs/PERFORMANCE.md).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/scenario/scenario.hpp"
+
+namespace abp {
+namespace {
+
+constexpr std::uint64_t kSeed = 7;
+
+scenario::ScenarioConfig golden_config(scenario::SimulatorKind sim) {
+  scenario::ScenarioConfig cfg =
+      scenario::paper_scenario(traffic::PatternKind::II, core::ControllerType::UtilBp);
+  cfg.grid.rows = 2;
+  cfg.grid.cols = 2;
+  cfg.seed = kSeed;
+  cfg.simulator = sim;
+  cfg.duration_s = 900.0;
+  if (sim == scenario::SimulatorKind::Micro) {
+    // Imperfect detectors: ties the RNG stream to every queue reading.
+    cfg.micro.sensor.detection_probability = 0.95;
+    cfg.micro.sensor.dropout_probability = 0.01;
+  }
+  return cfg;
+}
+
+void expect_identical(const stats::NetworkMetrics& a, const stats::NetworkMetrics& b) {
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.entered, b.entered);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.in_network_at_end, b.in_network_at_end);
+  EXPECT_EQ(a.queuing_time_s.count(), b.queuing_time_s.count());
+  EXPECT_EQ(a.travel_time_s.count(), b.travel_time_s.count());
+  // Exact double equality on purpose: the refactors under test must preserve
+  // the arithmetic bit for bit, not approximately.
+  EXPECT_EQ(a.queuing_time_s.mean(), b.queuing_time_s.mean());
+  EXPECT_EQ(a.travel_time_s.mean(), b.travel_time_s.mean());
+  EXPECT_EQ(a.entry_blocked_time_s, b.entry_blocked_time_s);
+}
+
+TEST(GoldenDeterminism, MicroSimRunToRun) {
+  const auto a = scenario::run_scenario(golden_config(scenario::SimulatorKind::Micro));
+  const auto b = scenario::run_scenario(golden_config(scenario::SimulatorKind::Micro));
+  expect_identical(a.metrics, b.metrics);
+}
+
+TEST(GoldenDeterminism, QueueSimRunToRun) {
+  const auto a = scenario::run_scenario(golden_config(scenario::SimulatorKind::Queue));
+  const auto b = scenario::run_scenario(golden_config(scenario::SimulatorKind::Queue));
+  expect_identical(a.metrics, b.metrics);
+}
+
+// Golden values captured from the pre-refactor seed implementation
+// (commit eb487fb plus the build system), 2x2 grid, seed 7, 900 s.
+TEST(GoldenDeterminism, MicroSimPinnedMetrics) {
+  const auto r = scenario::run_scenario(golden_config(scenario::SimulatorKind::Micro));
+  EXPECT_EQ(r.metrics.generated, 1272u);
+  EXPECT_EQ(r.metrics.entered, 1272u);
+  EXPECT_EQ(r.metrics.completed, 1153u);
+  EXPECT_EQ(r.metrics.in_network_at_end, 119u);
+  EXPECT_EQ(r.metrics.queuing_time_s.count(), 1272u);
+  EXPECT_EQ(r.metrics.travel_time_s.count(), 1272u);
+  EXPECT_EQ(r.metrics.queuing_time_s.mean(), 0x1.bae168a772508p+3);  // 13.84001572
+  EXPECT_EQ(r.metrics.travel_time_s.mean(), 0x1.2017588daf7f3p+6);   // 72.02279874
+  EXPECT_EQ(r.metrics.entry_blocked_time_s, 0x1.0ap+6);              // 66.5
+}
+
+TEST(GoldenDeterminism, QueueSimPinnedMetrics) {
+  const auto r = scenario::run_scenario(golden_config(scenario::SimulatorKind::Queue));
+  EXPECT_EQ(r.metrics.generated, 1272u);
+  EXPECT_EQ(r.metrics.entered, 1272u);
+  EXPECT_EQ(r.metrics.completed, 1159u);
+  EXPECT_EQ(r.metrics.in_network_at_end, 113u);
+  EXPECT_EQ(r.metrics.queuing_time_s.count(), 1272u);
+  EXPECT_EQ(r.metrics.travel_time_s.count(), 1272u);
+  EXPECT_EQ(r.metrics.queuing_time_s.mean(), 0x1.7639f656f1827p+4);  // 23.38915094
+  EXPECT_EQ(r.metrics.travel_time_s.mean(), 0x1.0b67d95bc609bp+6);   // 66.85141509
+  EXPECT_EQ(r.metrics.entry_blocked_time_s, 0x0p+0);
+}
+
+}  // namespace
+}  // namespace abp
