@@ -1,5 +1,7 @@
 // Hot-path throughput bench: vehicle-steps per wall-clock second on square
 // grids from 1x1 to 8x8, for both simulators, over a 2-hour simulated run.
+// The micro simulator runs once serial and once on a 4-way thread pool, so
+// the JSON exposes the parallel-sweep scaling next to the serial baseline.
 //
 // A "vehicle-step" is one vehicle being inside the network for one simulator
 // tick — the unit of useful work a simulator performs. Reporting throughput
@@ -9,14 +11,18 @@
 // decay over long runs even at constant occupancy.
 //
 // Output: a human-readable table on stdout, a CSV mirror under
-// ./bench_results/, and BENCH_hotpath.json in the working directory so the
-// perf trajectory across PRs is machine-readable (docs/PERFORMANCE.md
-// explains the schema). ABP_FAST=1 scales the simulated horizon down 10x for
-// smoke runs.
+// ./bench_results/, and a JSON report (docs/PERFORMANCE.md explains the
+// schema) whose header records the compiler and the machine's hardware
+// concurrency so numbers from different builds are attributable. The JSON
+// path defaults to BENCH_hotpath.json in the working directory and is
+// overridable as argv[1] — CI writes to a scratch path and diffs it against
+// the checked-in bench/baseline_hotpath.json (bench/compare_hotpath.py).
+// ABP_FAST=1 scales the simulated horizon down 10x for smoke runs.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.hpp"
@@ -29,9 +35,19 @@
 namespace abp::bench {
 namespace {
 
+constexpr const char* kCompiler =
+#if defined(__clang__)
+    "clang " __clang_version__;
+#elif defined(__GNUC__)
+    "gcc " __VERSION__;
+#else
+    "unknown";
+#endif
+
 struct Row {
   int grid = 0;
   std::string sim;
+  int threads = 1;
   double sim_seconds = 0.0;
   long long vehicle_steps = 0;   // sum over ticks of vehicles in the network
   std::size_t completed = 0;
@@ -45,10 +61,11 @@ struct Row {
 // ticks per second, so the bench harness itself stays O(1) per sim-second
 // regardless of how the simulator implements the query.
 template <typename Sim>
-Row drive(Sim& sim, const char* name, int grid, double duration_s, double dt_s) {
+Row drive(Sim& sim, const char* name, int grid, int threads, double duration_s, double dt_s) {
   Row row;
   row.grid = grid;
   row.sim = name;
+  row.threads = threads;
   row.sim_seconds = duration_s;
   const double ticks_per_second = 1.0 / dt_s;
   const auto start = std::chrono::steady_clock::now();
@@ -63,13 +80,15 @@ Row drive(Sim& sim, const char* name, int grid, double duration_s, double dt_s) 
   return row;
 }
 
-Row run_micro(const net::Network& net, double duration_s, std::uint64_t seed, int grid) {
+Row run_micro(const net::Network& net, double duration_s, std::uint64_t seed, int grid,
+              int threads) {
   core::ControllerSpec spec;  // UTIL-BP defaults
   traffic::DemandGenerator demand(net, traffic::DemandConfig{}, seed);
   microsim::MicroSimConfig config;
+  config.threads = threads;
   microsim::MicroSim sim(net, config, core::make_controllers(spec, net), demand,
                          seed + 0x5157u);
-  return drive(sim, "micro", grid, duration_s, config.dt_s);
+  return drive(sim, "micro", grid, threads, duration_s, config.dt_s);
 }
 
 Row run_queue(const net::Network& net, double duration_s, std::uint64_t seed, int grid) {
@@ -77,61 +96,71 @@ Row run_queue(const net::Network& net, double duration_s, std::uint64_t seed, in
   traffic::DemandGenerator demand(net, traffic::DemandConfig{}, seed);
   queuesim::QueueSimConfig config;
   queuesim::QueueSim sim(net, config, core::make_controllers(spec, net), demand);
-  return drive(sim, "queue", grid, duration_s, config.step_s);
+  return drive(sim, "queue", grid, 1, duration_s, config.step_s);
 }
 
-void write_json(const std::vector<Row>& rows, double duration_s) {
-  std::ofstream out("BENCH_hotpath.json");
+void write_json(const std::string& path, const std::vector<Row>& rows, double duration_s) {
+  std::ofstream out(path);
   out << "{\n  \"bench\": \"hotpath_throughput\",\n"
+      << "  \"compiler\": \"" << kCompiler << "\",\n"
+      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n"
       << "  \"sim_seconds\": " << duration_s << ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     out << "    {\"grid\": \"" << r.grid << "x" << r.grid << "\", \"sim\": \"" << r.sim
-        << "\", \"vehicle_steps\": " << r.vehicle_steps
+        << "\", \"threads\": " << r.threads
+        << ", \"vehicle_steps\": " << r.vehicle_steps
         << ", \"completed\": " << r.completed << ", \"wall_seconds\": " << r.wall_seconds
         << ", \"vehicle_steps_per_sec\": " << r.vehicle_steps_per_sec() << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
-  std::cout << "[json] BENCH_hotpath.json\n";
+  std::cout << "[json] " << path << "\n";
 }
 
 }  // namespace
 }  // namespace abp::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abp;
   using namespace abp::bench;
 
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_hotpath.json";
   const double duration_s = 7200.0 * duration_scale();  // the paper's 2-hour horizon
   const std::uint64_t seed = 2020;
   const int grids[] = {1, 2, 3, 4, 6, 8};
+  const int micro_threads[] = {1, 4};
 
   print_header("Hot-path throughput (vehicle-steps per wall-clock second)");
-  std::printf("%-6s %-6s %14s %12s %10s %16s\n", "grid", "sim", "vehicle-steps",
-              "completed", "wall [s]", "veh-steps/s");
+  std::printf("compiler: %s, hardware threads: %u\n", kCompiler,
+              std::thread::hardware_concurrency());
+  std::printf("%-6s %-6s %8s %14s %12s %10s %16s\n", "grid", "sim", "threads",
+              "vehicle-steps", "completed", "wall [s]", "veh-steps/s");
 
   std::vector<Row> rows;
   std::ofstream csv = open_csv("hotpath_throughput");
-  csv << "grid,sim,sim_seconds,vehicle_steps,completed,wall_seconds,vehicle_steps_per_sec\n";
+  csv << "grid,sim,threads,sim_seconds,vehicle_steps,completed,wall_seconds,"
+         "vehicle_steps_per_sec\n";
+  auto emit = [&](Row row) {
+    std::printf("%dx%-4d %-6s %8d %14lld %12zu %10.2f %16.0f\n", row.grid, row.grid,
+                row.sim.c_str(), row.threads, row.vehicle_steps, row.completed,
+                row.wall_seconds, row.vehicle_steps_per_sec());
+    std::fflush(stdout);
+    csv << row.grid << "x" << row.grid << "," << row.sim << "," << row.threads << ","
+        << row.sim_seconds << "," << row.vehicle_steps << "," << row.completed << ","
+        << row.wall_seconds << "," << row.vehicle_steps_per_sec() << "\n";
+    rows.push_back(std::move(row));
+  };
   for (int n : grids) {
     net::GridConfig grid_cfg;
     grid_cfg.rows = n;
     grid_cfg.cols = n;
     const net::Network net = net::build_grid(grid_cfg);
-    for (int which = 0; which < 2; ++which) {
-      Row row = which == 0 ? run_queue(net, duration_s, seed, n)
-                           : run_micro(net, duration_s, seed, n);
-      std::printf("%dx%-4d %-6s %14lld %12zu %10.2f %16.0f\n", n, n, row.sim.c_str(),
-                  row.vehicle_steps, row.completed, row.wall_seconds,
-                  row.vehicle_steps_per_sec());
-      std::fflush(stdout);
-      csv << n << "x" << n << "," << row.sim << "," << row.sim_seconds << ","
-          << row.vehicle_steps << "," << row.completed << "," << row.wall_seconds << ","
-          << row.vehicle_steps_per_sec() << "\n";
-      rows.push_back(std::move(row));
+    emit(run_queue(net, duration_s, seed, n));
+    for (int threads : micro_threads) {
+      emit(run_micro(net, duration_s, seed, n, threads));
     }
   }
-  write_json(rows, duration_s);
+  write_json(json_path, rows, duration_s);
   return 0;
 }

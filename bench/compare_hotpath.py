@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the hot-path throughput bench.
+
+Compares a fresh BENCH_hotpath.json against the checked-in baseline and fails
+(exit 1) if any matching row's vehicle_steps_per_sec dropped by more than the
+threshold (default 30%, loose enough for shared CI runners; override with
+--threshold or the ABP_PERF_GATE_THRESHOLD env var, as a fraction).
+
+Rows are matched by (grid, sim, threads). Rows present on only one side are
+reported but never fail the gate, so adding a bench configuration does not
+require updating the baseline in the same commit. Rows whose wall time is
+below --min-wall on either side are skipped too: a smoke run finishes the
+small grids in single-digit milliseconds, where scheduler noise swamps any
+real signal (the regression gate's teeth are the larger grids). Speedups are reported too —
+if a row improves by more than the threshold, the gate suggests re-capturing
+the baseline so the bar ratchets upward.
+
+Usage: compare_hotpath.py BASELINE.json CURRENT.json [--threshold 0.30]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("rows", []):
+        key = (row["grid"], row["sim"], int(row.get("threads", 1)))
+        rows[key] = (float(row["vehicle_steps_per_sec"]), float(row.get("wall_seconds", 0.0)))
+    return doc, rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("ABP_PERF_GATE_THRESHOLD", "0.30")),
+        help="maximum tolerated fractional drop in vehicle_steps_per_sec",
+    )
+    parser.add_argument(
+        "--min-wall",
+        type=float,
+        default=float(os.environ.get("ABP_PERF_GATE_MIN_WALL", "0.05")),
+        help="skip rows measured over less wall time (seconds) than this",
+    )
+    args = parser.parse_args()
+
+    base_doc, base = load_rows(args.baseline)
+    cur_doc, cur = load_rows(args.current)
+
+    print(
+        f"perf gate: baseline compiler={base_doc.get('compiler', '?')!r} "
+        f"current compiler={cur_doc.get('compiler', '?')!r} "
+        f"threshold={args.threshold:.0%}"
+    )
+
+    regressions = []
+    improvements = []
+    fmt = "{:>6} {:>6} {:>8} {:>14} {:>14} {:>8}  {}"
+    print(fmt.format("grid", "sim", "threads", "baseline", "current", "ratio", ""))
+    for key in sorted(base):
+        grid, sim, threads = key
+        base_rate, base_wall = base[key]
+        if key not in cur:
+            print(fmt.format(grid, sim, threads, f"{base_rate:.3g}", "-", "-", "missing (skipped)"))
+            continue
+        cur_rate, cur_wall = cur[key]
+        if min(base_wall, cur_wall) < args.min_wall:
+            print(fmt.format(grid, sim, threads, f"{base_rate:.3g}", f"{cur_rate:.3g}", "-",
+                             f"too short to gate (<{args.min_wall}s wall)"))
+            continue
+        ratio = cur_rate / base_rate if base_rate > 0 else float("inf")
+        note = ""
+        if ratio < 1.0 - args.threshold:
+            note = "REGRESSION"
+            regressions.append(key)
+        elif ratio > 1.0 + args.threshold:
+            note = "improved (consider re-capturing the baseline)"
+            improvements.append(key)
+        print(fmt.format(grid, sim, threads, f"{base_rate:.3g}", f"{cur_rate:.3g}", f"{ratio:.2f}", note))
+    for key in sorted(set(cur) - set(base)):
+        grid, sim, threads = key
+        print(fmt.format(grid, sim, threads, "-", f"{cur[key][0]:.3g}", "-", "new row (not gated)"))
+
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} row(s) dropped >"
+            f"{args.threshold:.0%} vs {args.baseline}: "
+            + ", ".join(f"{g}/{s}/t{t}" for g, s, t in regressions)
+        )
+        return 1
+    print(f"OK: no row dropped more than {args.threshold:.0%} ({len(improvements)} improved)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

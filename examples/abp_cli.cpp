@@ -7,7 +7,10 @@
 //   abp_cli [--pattern I|II|III|IV|mixed] [--controller util|cap|orig|fixed]
 //           [--duration SECONDS] [--period SECONDS] [--seed N]
 //           [--simulator micro|queue] [--rows N] [--cols N]
-//           [--mixed-lanes] [--csv PREFIX]
+//           [--mixed-lanes] [--threads N] [--csv PREFIX]
+//
+// --threads drives the micro-sim's parallel lane sweep; metrics are
+// bit-identical at every value (see docs/PERFORMANCE.md).
 //
 // Examples:
 //   abp_cli --pattern I --controller util
@@ -30,7 +33,8 @@ namespace {
                "[--controller util|cap|orig|fixed]\n"
                "               [--duration S] [--period S] [--seed N] "
                "[--simulator micro|queue]\n"
-               "               [--rows N] [--cols N] [--mixed-lanes] [--csv PREFIX]\n");
+               "               [--rows N] [--cols N] [--mixed-lanes] [--threads N]\n"
+               "               [--csv PREFIX]\n");
   std::exit(2);
 }
 
@@ -65,6 +69,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   scenario::SimulatorKind simulator = scenario::SimulatorKind::Micro;
   int rows = 3, cols = 3;
+  int threads = 1;
   bool mixed_lanes = false;
   std::string csv_prefix;
 
@@ -97,6 +102,8 @@ int main(int argc, char** argv) {
       rows = std::atoi(value().c_str());
     } else if (arg == "--cols") {
       cols = std::atoi(value().c_str());
+    } else if (arg == "--threads") {
+      threads = std::atoi(value().c_str());
     } else if (arg == "--mixed-lanes") {
       mixed_lanes = true;
     } else if (arg == "--csv") {
@@ -108,12 +115,15 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (threads < 1 || threads > 256) usage_error("--threads must be in [1, 256]");
+
   scenario::ScenarioConfig cfg = scenario::paper_scenario(pattern, controller, period);
   cfg.grid.rows = rows;
   cfg.grid.cols = cols;
   cfg.seed = seed;
   cfg.simulator = simulator;
   cfg.micro.dedicated_turn_lanes = !mixed_lanes;
+  cfg.micro.threads = threads;
   if (duration > 0.0) cfg.duration_s = duration;
   // Watch the north approach of the top-right junction (Fig. 5's setup uses
   // the east approach; north is present in every grid size).

@@ -4,8 +4,7 @@
 
 namespace abp::core {
 
-int measure_queue(int true_count, const SensorModel& model, Rng& rng) {
-  if (model.perfect()) return true_count;
+int measure_queue_imperfect(int true_count, const SensorModel& model, Rng& rng) {
   int measured = true_count;
   if (model.dropout_probability > 0.0 && rng.bernoulli(model.dropout_probability)) {
     return 0;

@@ -29,9 +29,16 @@ struct SensorModel {
   }
 };
 
+// Imperfect-sensor path of measure_queue (thinning, dropout, quantization).
+[[nodiscard]] int measure_queue_imperfect(int true_count, const SensorModel& model, Rng& rng);
+
 // Applies the model to one queue count. Deterministic pass-through when the
 // model is perfect (no RNG consumption, so enabling a perfect sensor does not
-// change a run).
-[[nodiscard]] int measure_queue(int true_count, const SensorModel& model, Rng& rng);
+// change a run). Inline so the default perfect model costs a few compares per
+// reading — observe() takes three readings per link per control step.
+[[nodiscard]] inline int measure_queue(int true_count, const SensorModel& model, Rng& rng) {
+  if (model.perfect()) return true_count;
+  return measure_queue_imperfect(true_count, model, rng);
+}
 
 }  // namespace abp::core

@@ -48,4 +48,32 @@ namespace abp::microsim {
   return std::max(0.0, v_des - dawdle);
 }
 
+// Bit-identical to next_speed(), with the sqrt elided in the free-flow case.
+// When the safe-speed radicand exceeds (cap + b*tau)^2 by a wide margin —
+// where cap = min(speed_limit, v + a*dt) is the accel/limit ceiling — then
+// v_safe cannot be the binding term of the min, so the sqrt never influences
+// the result and is skipped. The 1e-12 relative margin is ~10^3 ulps, orders
+// of magnitude beyond the <4-ulp rounding slop of the exact computation, so
+// the fast path only fires where both paths provably agree bit for bit;
+// anything closer falls through to next_speed(). Most vehicle-steps in a
+// flowing network are free-flow, so this removes the sqrt from the common
+// case of the hot sweep (tests/microsim_krauss_test.cpp sweeps the boundary).
+[[nodiscard]] inline double next_speed_fast(double current_speed, double gap,
+                                            double leader_speed, double speed_limit,
+                                            const VehicleParams& p, double dt,
+                                            double rand01) {
+  const double cap = std::min(speed_limit, current_speed + p.accel_mps2 * dt);
+  if (gap > 0.0) {
+    const double bt = p.decel_mps2 * p.tau_s;
+    const double radicand =
+        bt * bt + leader_speed * leader_speed + 2.0 * p.decel_mps2 * gap;
+    const double c = cap + bt;
+    if (radicand > c * c * (1.0 + 1e-12)) {
+      const double dawdle = p.sigma * p.accel_mps2 * dt * rand01;
+      return std::max(0.0, cap - dawdle);
+    }
+  }
+  return next_speed(current_speed, gap, leader_speed, speed_limit, p, dt, rand01);
+}
+
 }  // namespace abp::microsim

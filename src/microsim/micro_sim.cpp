@@ -21,15 +21,18 @@ MicroSim::MicroSim(const net::Network& network, MicroSimConfig config,
       config_(config),
       controllers_(std::move(controllers)),
       demand_(demand),
-      rng_(seed) {
+      rng_(seed),
+      seed_(seed) {
   if (!net_.finalized()) throw std::invalid_argument("network must be finalized");
   if (config_.dt_s <= 0.0) throw std::invalid_argument("dt must be positive");
   if (config_.control_interval_s < config_.dt_s) {
     throw std::invalid_argument("control interval must be >= dt");
   }
+  if (config_.threads < 1) throw std::invalid_argument("threads must be >= 1");
   if (controllers_.size() != net_.intersections().size()) {
     throw std::invalid_argument("need exactly one controller per intersection");
   }
+  pool_ = std::make_unique<ThreadPool>(config_.threads);
   build_runtime();
 }
 
@@ -38,6 +41,10 @@ void MicroSim::build_runtime() {
   links_.resize(net_.links().size());
   displayed_.assign(net_.intersections().size(), net::kTransitionPhase);
   result_.phase_traces.resize(net_.intersections().size());
+  road_streams_.reserve(net_.roads().size());
+  for (std::size_t r = 0; r < net_.roads().size(); ++r) {
+    road_streams_.emplace_back(seed_, static_cast<std::uint64_t>(r));
+  }
 
   for (const net::Road& road : net_.roads()) {
     RoadRt& rt = roads_[road.id.index()];
@@ -91,7 +98,7 @@ int MicroSim::lane_count(LinkId link) const {
   // Mixed lane: count the vehicles whose route takes this movement.
   int count = 0;
   for (VehicleId vid : lane.vehicles) {
-    if (vehicles_[vid.index()].next_link == link) ++count;
+    if (veh_next_link_[vid.index()] == link) ++count;
   }
   return count;
 }
@@ -109,18 +116,16 @@ std::vector<double> MicroSim::lane_positions(LinkId link) const {
   const Lane& lane =
       roads_[lrt.from_road.index()].lanes[static_cast<std::size_t>(lrt.lane_index)];
   std::vector<double> positions;
-  positions.reserve(lane.vehicles.size());
-  for (VehicleId vid : lane.vehicles) positions.push_back(vehicles_[vid.index()].pos);
+  positions.reserve(lane.pos.size());
+  for (std::size_t i = 0; i < lane.pos.size(); ++i) positions.push_back(lane.pos[i]);
   return positions;
 }
 
 bool MicroSim::no_overlaps() const {
   for (const RoadRt& rt : roads_) {
     for (const Lane& lane : rt.lanes) {
-      for (std::size_t i = 0; i + 1 < lane.vehicles.size(); ++i) {
-        const Veh& ahead = vehicles_[lane.vehicles[i].index()];
-        const Veh& behind = vehicles_[lane.vehicles[i + 1].index()];
-        if (behind.pos > ahead.pos - config_.vehicle.length_m + 1e-6) return false;
+      for (std::size_t i = 0; i + 1 < lane.pos.size(); ++i) {
+        if (lane.pos[i + 1] > lane.pos[i] - config_.vehicle.length_m + 1e-6) return false;
       }
     }
   }
@@ -138,9 +143,9 @@ int MicroSim::lane_index_for_turn(RoadId road, net::Turn turn) const {
   throw std::logic_error("no lane for requested turn on road " + net_.road(road).name);
 }
 
-std::optional<LinkId> MicroSim::movement_of(const Veh& v, RoadId road) const {
-  if (v.next_turn >= v.route.turns.size()) return std::nullopt;
-  return net_.find_link(road, v.route.turns[v.next_turn]);
+std::optional<LinkId> MicroSim::movement_of(const VehMeta& m, RoadId road) const {
+  if (m.next_turn >= m.route.turns.size()) return std::nullopt;
+  return net_.find_link(road, m.route.turns[m.next_turn]);
 }
 
 int MicroSim::road_vehicle_count(RoadId road) const {
@@ -153,8 +158,8 @@ int MicroSim::road_vehicle_count(RoadId road) const {
 
 int MicroSim::lane_queued_count(const Lane& lane, double threshold_mps) const {
   int count = 0;
-  for (VehicleId vid : lane.vehicles) {
-    if (vehicles_[vid.index()].speed < threshold_mps) ++count;
+  for (std::size_t i = 0; i < lane.speed.size(); ++i) {
+    if (lane.speed[i] < threshold_mps) ++count;
   }
   return count;
 }
@@ -166,9 +171,10 @@ int MicroSim::link_queued_count(LinkId link, double threshold_mps) const {
   if (lane.link) return lane_queued_count(lane, threshold_mps);
   // Mixed lane: the movement's queue is the slow vehicles headed through it.
   int count = 0;
-  for (VehicleId vid : lane.vehicles) {
-    const Veh& v = vehicles_[vid.index()];
-    if (v.speed < threshold_mps && v.next_link == link) ++count;
+  for (std::size_t i = 0; i < lane.speed.size(); ++i) {
+    if (lane.speed[i] < threshold_mps && veh_next_link_[lane.vehicles[i].index()] == link) {
+      ++count;
+    }
   }
   return count;
 }
@@ -184,10 +190,10 @@ int MicroSim::road_queued_count(RoadId road, double threshold_mps) const {
 bool MicroSim::entry_clear(const RoadRt& rt, int lane_index) const {
   const Lane& lane = rt.lanes[static_cast<std::size_t>(lane_index)];
   if (lane.vehicles.empty()) return true;
-  const Veh& rear = vehicles_[lane.vehicles.back().index()];
+  const double rear_pos = lane.pos.back();
   // The new vehicle's front bumper enters at pos 0; the rear vehicle's back
   // bumper must leave room for it plus the standstill gap.
-  return rear.pos - config_.vehicle.length_m >= config_.vehicle.min_gap_m + 0.5;
+  return rear_pos - config_.vehicle.length_m >= config_.vehicle.min_gap_m + 0.5;
 }
 
 const core::IntersectionObservation& MicroSim::observe(const net::Intersection& node) {
@@ -217,6 +223,7 @@ const core::IntersectionObservation& MicroSim::observe(const net::Intersection& 
 }
 
 void MicroSim::control_step() {
+  green_links_.clear();
   for (const net::Intersection& node : net_.intersections()) {
     const net::PhaseIndex phase = controllers_[node.id.index()]->decide(observe(node));
     if (phase < 0 || phase >= static_cast<int>(node.phases.size())) {
@@ -227,6 +234,7 @@ void MicroSim::control_step() {
     for (LinkId lid : node.links) links_[lid.index()].green = false;
     for (LinkId lid : node.phases[static_cast<std::size_t>(phase)].links) {
       links_[lid.index()].green = true;
+      green_links_.push_back(lid);
     }
   }
 }
@@ -235,21 +243,26 @@ VehicleId MicroSim::alloc_vehicle() {
   if (!free_slots_.empty()) {
     const VehicleId vid(free_slots_.back());
     free_slots_.pop_back();
-    vehicles_[vid.index()] = Veh{};
+    const std::size_t idx = vid.index();
+    veh_meta_[idx] = VehMeta{};
+    veh_waiting_[idx] = 0.0;
+    veh_next_link_[idx] = LinkId{};
     return vid;
   }
-  vehicles_.emplace_back();
-  return VehicleId(static_cast<VehicleId::value_type>(vehicles_.size() - 1));
+  veh_meta_.emplace_back();
+  veh_waiting_.push_back(0.0);
+  veh_next_link_.emplace_back();
+  return VehicleId(static_cast<VehicleId::value_type>(veh_meta_.size() - 1));
 }
 
 void MicroSim::admit_spawns() {
   for (const traffic::SpawnRequest& req : demand_.poll(now_, now_ + config_.dt_s)) {
     const VehicleId vid = alloc_vehicle();
-    Veh& v = vehicles_[vid.index()];
-    v.route = req.route;
-    v.spawn_seq = result_.metrics.generated;
-    v.loc = Loc::Outside;
-    v.road = req.entry;
+    VehMeta& m = veh_meta_[vid.index()];
+    m.route = req.route;
+    m.spawn_seq = result_.metrics.generated;
+    m.loc = Loc::Outside;
+    m.road = req.entry;
     result_.metrics.generated += 1;
     roads_[req.entry.index()].buffer.push_back(vid);
   }
@@ -265,8 +278,8 @@ void MicroSim::admit_spawns() {
     std::fill(lane_blocked_.begin(), lane_blocked_.begin() + rt.lanes.size(), 0);
     for (auto it = rt.buffer.begin(); it != rt.buffer.end() && rt.occupancy < capacity;) {
       const VehicleId vid = *it;
-      Veh& v = vehicles_[vid.index()];
-      const int lane = lane_index_for_turn(entry, v.route.turns.front());
+      VehMeta& m = veh_meta_[vid.index()];
+      const int lane = lane_index_for_turn(entry, m.route.turns.front());
       if (lane_blocked_[static_cast<std::size_t>(lane)] || !entry_clear(rt, lane)) {
         lane_blocked_[static_cast<std::size_t>(lane)] = 1;
         ++it;
@@ -274,16 +287,16 @@ void MicroSim::admit_spawns() {
       }
       it = rt.buffer.erase(it);
       rt.occupancy += 1;
-      v.loc = Loc::Lane;
-      v.lane = lane;
-      v.pos = 0.0;
-      v.speed = std::min(config_.insertion_speed_mps, net_.road(entry).speed_limit_mps);
-      v.entry_time = now_;
-      if (const std::optional<LinkId> movement = movement_of(v, entry)) {
-        v.next_link = *movement;
+      m.loc = Loc::Lane;
+      m.lane = lane;
+      m.entry_time = now_;
+      if (const std::optional<LinkId> movement = movement_of(m, entry)) {
+        veh_next_link_[vid.index()] = *movement;
       }
       in_network_count_ += 1;
-      rt.lanes[static_cast<std::size_t>(lane)].vehicles.push_back(vid);
+      rt.lanes[static_cast<std::size_t>(lane)].push_vehicle(
+          vid, 0.0, std::min(config_.insertion_speed_mps, net_.road(entry).speed_limit_mps),
+          veh_waiting_[vid.index()]);
       result_.metrics.entered += 1;
       // The lane just received a vehicle at its entry point; nobody else fits
       // behind it this step.
@@ -297,13 +310,13 @@ void MicroSim::admit_spawns() {
 void MicroSim::release_junction_vehicles() {
   for (std::size_t i = 0; i < in_junction_.size();) {
     const VehicleId vid = in_junction_[i];
-    Veh& v = vehicles_[vid.index()];
-    RoadRt& target = roads_[v.road.index()];
-    if (v.junction_exit <= now_ && entry_clear(target, v.lane)) {
-      v.loc = Loc::Lane;
-      v.pos = 0.0;
-      v.speed = std::min(config_.insertion_speed_mps, net_.road(v.road).speed_limit_mps);
-      target.lanes[static_cast<std::size_t>(v.lane)].vehicles.push_back(vid);
+    VehMeta& m = veh_meta_[vid.index()];
+    RoadRt& target = roads_[m.road.index()];
+    if (m.junction_exit <= now_ && entry_clear(target, m.lane)) {
+      m.loc = Loc::Lane;
+      target.lanes[static_cast<std::size_t>(m.lane)].push_vehicle(
+          vid, 0.0, std::min(config_.insertion_speed_mps, net_.road(m.road).speed_limit_mps),
+          veh_waiting_[vid.index()]);
       in_junction_[i] = in_junction_.back();
       in_junction_.pop_back();
     } else {
@@ -315,19 +328,19 @@ void MicroSim::release_junction_vehicles() {
 bool MicroSim::try_grant(VehicleId vid, LinkId link) {
   LinkRt& lrt = links_[link.index()];
   if (!lrt.green || now_ < lrt.next_grant) return false;
-  Veh& v = vehicles_[vid.index()];
+  VehMeta& m = veh_meta_[vid.index()];
   const net::Link& l = net_.link(link);
   const RoadId to_road = l.to_road;
   RoadRt& target = roads_[to_road.index()];
   if (target.occupancy >= net_.road(to_road).capacity) return false;
 
   int target_lane = 0;
-  const std::size_t next = v.next_turn + 1;
+  const std::size_t next = m.next_turn + 1;
   if (!net_.road(to_road).is_exit()) {
-    if (next >= v.route.turns.size()) {
+    if (next >= m.route.turns.size()) {
       throw std::logic_error("route exhausted before reaching an exit road");
     }
-    target_lane = lane_index_for_turn(to_road, v.route.turns[next]);
+    target_lane = lane_index_for_turn(to_road, m.route.turns[next]);
   }
   if (!entry_clear(target, target_lane)) return false;
 
@@ -338,121 +351,184 @@ bool MicroSim::try_grant(VehicleId vid, LinkId link) {
                                    : l.service_rate;
   lrt.next_grant = now_ + 1.0 / physical_rate;
   target.occupancy += 1;
-  v.road = to_road;
-  v.lane = target_lane;
-  v.next_turn = next;
-  v.next_link = LinkId{};
+  m.road = to_road;
+  m.lane = target_lane;
+  m.next_turn = next;
+  veh_next_link_[vid.index()] = LinkId{};
   if (!net_.road(to_road).is_exit()) {
-    if (const std::optional<LinkId> movement = movement_of(v, to_road)) {
-      v.next_link = *movement;
+    if (const std::optional<LinkId> movement = movement_of(m, to_road)) {
+      veh_next_link_[vid.index()] = *movement;
     }
   }
   return true;
 }
 
-void MicroSim::update_lane(const net::Road& road, Lane& lane) {
-  // Junction service first: a green movement serves the head vehicle at most
-  // once per 1/mu seconds, provided it has reached the service zone at the
-  // stop line. Service moves the vehicle into the junction box immediately;
-  // everything behind it keeps following normally. On a mixed lane the head
-  // vehicle's own route decides the movement — if that movement is red, the
-  // whole lane waits behind it (head-of-line blocking).
-  if (!lane.vehicles.empty() && !road.is_exit()) {
+void MicroSim::service_junctions() {
+  // A green movement serves the head vehicle at most once per 1/mu seconds,
+  // provided it has reached the service zone at the stop line. Service moves
+  // the vehicle into the junction box immediately; everything behind it keeps
+  // following normally in the sweep. Only the currently green links are
+  // visited (green_links_, rebuilt each control step): red movements can
+  // never grant, and scanning every lane for them cost more than the sweep
+  // saved. On a mixed lane the head vehicle's own route decides the movement
+  // — the grant happens on the link matching the head's resolved next_link,
+  // and if that movement is red the whole lane waits behind it (head-of-line
+  // blocking). Grants read and write state of the *downstream* road
+  // (occupancy reservation, insertion-gap check), which another road's work
+  // unit owns — that cross-road coupling is exactly why this phase runs
+  // sequentially, before the parallel sweep.
+  for (const LinkId lid : green_links_) {
+    const LinkRt& lrt = links_[lid.index()];
+    if (now_ < lrt.next_grant) continue;
+    RoadRt& rt = roads_[lrt.from_road.index()];
+    Lane& lane = rt.lanes[static_cast<std::size_t>(lrt.lane_index)];
+    if (lane.vehicles.empty()) continue;
     const VehicleId vid = lane.vehicles.front();
-    Veh& v = vehicles_[vid.index()];
-    const LinkId head_link = lane.link ? *lane.link : v.next_link;
-    if (head_link.valid() && v.pos >= road.length_m - config_.service_zone_m &&
-        try_grant(vid, head_link)) {
-      v.loc = Loc::Junction;
-      v.junction_exit = now_ + config_.junction_crossing_s;
-      v.speed = config_.insertion_speed_mps;
-      roads_[road.id.index()].occupancy -= 1;
-      in_junction_.push_back(vid);
-      lane.vehicles.pop_front();
+    // Mixed lane: this link only serves the head if it is the head's own
+    // movement (dedicated lanes satisfy this by construction), and the stop
+    // line serves at most one vehicle per tick even when several green links
+    // share the lane.
+    if (!lane.link &&
+        (veh_next_link_[vid.index()] != lid || lane.serviced_at == now_)) {
+      continue;
     }
+    const net::Road& road = net_.road(lrt.from_road);
+    if (lane.pos.front() < road.length_m - config_.service_zone_m) continue;
+    if (!try_grant(vid, lid)) continue;
+    lane.serviced_at = now_;
+    veh_waiting_[vid.index()] = lane.waiting.front();
+    VehMeta& m = veh_meta_[vid.index()];
+    m.loc = Loc::Junction;
+    m.junction_exit = now_ + config_.junction_crossing_s;
+    rt.occupancy -= 1;
+    in_junction_.push_back(vid);
+    lane.pop_head();
+  }
+}
+
+void MicroSim::sweep_lane(const net::Road& road, RoadRt& rt, Lane& lane, StreamRng& rng) {
+  const std::size_t n = lane.vehicles.size();
+  if (n == 0) return;
+
+  // Hot loop, two passes over the lane's contiguous SoA arrays. All state
+  // touched here is owned by this road's work unit: the lane order, the
+  // lane-local kinematic arrays, the road's memo-table rows, and the road's
+  // own dawdle stream — nothing shared, so the sweep parallelizes without
+  // locks and the draw sequence is independent of the thread schedule.
+  const double dt = config_.dt_s;
+  // Local copy of the car-following parameters: every store into the lane's
+  // double arrays could alias a double field reached through a reference
+  // (same TBAA class), which would force the compiler to reload them each
+  // iteration; locals provably cannot alias and stay in registers.
+  const VehicleParams vp = config_.vehicle;
+  const double vehicle_length = vp.length_m;
+  const double min_gap = vp.min_gap_m;
+  const double speed_limit = road.speed_limit_mps;
+  const double road_length = road.length_m;
+  const bool dawdling = vp.sigma > 0.0;
+  const bool is_exit = road.is_exit();
+
+  // Pass 1 — synchronous Krauss speeds: every follower reacts to its
+  // leader's *previous-step* kinematics, the update rule of Krauss (1998)
+  // (and SUMO): v_safe(t+dt) is computed from g(t) and v_leader(t). Besides
+  // model fidelity, synchrony makes the per-vehicle computations within a
+  // lane independent, so the expensive parts (safe-speed radical, dawdle
+  // draw) pipeline across iterations instead of serializing on the leader's
+  // fresh state. Iterating tail-first lets the new speed overwrite
+  // lane.speed[i] in place while follower i+1 has already consumed the old
+  // value and leader i-1 has not yet been touched.
+  for (std::size_t i = n; i-- > 0;) {
+    const double pos = lane.pos[i];
+    const double speed = lane.speed[i];
+    double gap;
+    double lead_v;
+    if (i > 0) {
+      gap = lane.pos[i - 1] - vehicle_length - pos - min_gap;
+      lead_v = lane.speed[i - 1];
+    } else if (is_exit) {
+      gap = kFreeGap;  // drives off the far end
+      lead_v = 0.0;
+    } else {
+      // Approach the stop line as a standing obstacle; service happens via
+      // the junction phase once within the zone.
+      gap = road_length - pos;
+      lead_v = 0.0;
+    }
+    const double dawdle = dawdling ? rng.uniform01() : 0.0;
+    lane.speed[i] = next_speed_fast(speed, gap, lead_v, speed_limit, vp, dt, dawdle);
   }
 
-  // Hot loop: hoist config reads and carry the leader across iterations, so
-  // each vehicle costs one Krauss update and no repeated indexing. Vehicle
-  // storage is not reallocated inside this loop, so the pointer stays valid.
-  const double dt = config_.dt_s;
-  const double vehicle_length = config_.vehicle.length_m;
-  const double min_gap = config_.vehicle.min_gap_m;
-  const bool dawdling = config_.vehicle.sigma > 0.0;
-  const bool is_exit = road.is_exit();
+  // Pass 2 — positions, overlap guards and per-vehicle accounting, head
+  // first. The guard clamps against the leader's *new* position (a vehicle
+  // may never overlap where its leader actually is), which is a sequential
+  // dependency — but a cheap one: adds and compares only.
   const bool count_queues = memo_pending_;
   const bool dedicated = lane.link.has_value();
   const LinkId lane_link = dedicated ? *lane.link : LinkId{};
   const std::size_t road_index = road.id.index();
+  const double waiting_threshold = config_.waiting_speed_threshold_mps;
+  const double approach_threshold = config_.approach_queue_threshold_mps;
+  const double congestion_threshold = config_.congestion_queue_threshold_mps;
   bool head_completed = false;
-  const Veh* leader = nullptr;
-  const std::size_t n = lane.vehicles.size();
+  double leader_pos = 0.0;
+  double leader_speed = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    const VehicleId vid = lane.vehicles[i];
-    Veh& v = vehicles_[vid.index()];
-    double gap;
-    double leader_speed;
-
-    if (leader != nullptr) {
-      gap = leader->pos - vehicle_length - v.pos - min_gap;
-      leader_speed = leader->speed;
-    } else if (is_exit) {
-      gap = kFreeGap;  // drives off the far end
-      leader_speed = 0.0;
-    } else {
-      // Approach the stop line as a standing obstacle; service happens via
-      // the grant above once within the zone.
-      gap = road.length_m - v.pos;
-      leader_speed = 0.0;
-    }
-
-    const double dawdle = dawdling ? rng_.uniform01() : 0.0;
-    v.speed = next_speed(v.speed, gap, leader_speed, road.speed_limit_mps, config_.vehicle,
-                         dt, dawdle);
-    v.pos += v.speed * dt;
-
-    if (leader != nullptr) {
+    double speed = lane.speed[i];
+    double pos = lane.pos[i] + speed * dt;
+    if (i > 0) {
       // Numerical guard: never overlap the leader.
-      const double limit = leader->pos - vehicle_length - 0.1;
-      if (v.pos > limit) {
-        v.pos = std::max(0.0, limit);
-        v.speed = std::min(v.speed, leader->speed);
+      const double limit = leader_pos - vehicle_length - 0.1;
+      if (pos > limit) {
+        pos = std::max(0.0, limit);
+        speed = std::min(speed, leader_speed);
+        lane.speed[i] = speed;
       }
-    } else if (!is_exit && v.pos > road.length_m - 0.2) {
-      v.pos = road.length_m - 0.2;  // hold at the stop line
-      v.speed = 0.0;
+    } else if (!is_exit && pos > road_length - 0.2) {
+      pos = road_length - 0.2;  // hold at the stop line
+      speed = 0.0;
+      lane.speed[i] = speed;
     }
+    lane.pos[i] = pos;
 
-    if (is_exit && i == 0 && v.pos >= road.length_m) {
-      complete_vehicle(vid);
+    if (is_exit && i == 0 && pos >= road_length) {
+      // Stage the completion: metric accumulation is floating-point
+      // order-sensitive and mutates shared counters, so it runs sequentially
+      // in apply_completions(), in exit-road order. Write the lane-carried
+      // waiting time back now; the pop at the end of the sweep discards it.
+      rt.completed = lane.vehicles.front();
+      veh_waiting_[rt.completed.index()] = lane.waiting[0];
       head_completed = true;
     } else {
-      if (v.speed < config_.waiting_speed_threshold_mps) {
+      if (speed < waiting_threshold) {
         // Waiting-time accumulation, folded into the lane update so the
-        // per-tick cost is O(active vehicles), never O(vehicles ever spawned).
-        v.waiting_time += dt;
+        // per-tick cost is O(active vehicles), never O(vehicles ever spawned),
+        // and contiguous: the scattered per-vehicle row is only touched when
+        // the vehicle leaves the lane.
+        lane.waiting[i] += dt;
       }
       if (count_queues) {
         // Queued-count memo for next step's controller decisions; a vehicle
         // that just completed is gone by decision time and must not count.
-        if (v.speed < config_.approach_queue_threshold_mps) {
+        if (speed < approach_threshold) {
           road_queued_approach_[road_index] += 1;
-          const LinkId movement = dedicated ? lane_link : v.next_link;
+          const LinkId movement =
+              dedicated ? lane_link : veh_next_link_[lane.vehicles[i].index()];
           if (movement.valid()) link_queued_approach_[movement.index()] += 1;
         }
-        if (v.speed < config_.congestion_queue_threshold_mps) {
+        if (speed < congestion_threshold) {
           road_queued_congestion_[road_index] += 1;
         }
       }
     }
-    leader = &v;
+    leader_pos = pos;
+    leader_speed = speed;
   }
   if (head_completed) {
-    lane.vehicles.pop_front();
+    lane.pop_head();
   }
 }
 
-void MicroSim::update_roads() {
+void MicroSim::sweep_roads() {
   // When the next step opens with a controller decision, the queued-count
   // memo tables are rebuilt during this sweep — the vehicles are already in
   // cache here, so observe() never needs a separate scan. The predicate is
@@ -463,23 +539,42 @@ void MicroSim::update_roads() {
     std::fill(road_queued_congestion_.begin(), road_queued_congestion_.end(), 0);
     std::fill(link_queued_approach_.begin(), link_queued_approach_.end(), 0);
   }
-  for (const net::Road& road : net_.roads()) {
-    for (Lane& lane : roads_[road.id.index()].lanes) {
-      update_lane(road, lane);
+  const std::vector<net::Road>& roads = net_.roads();
+  pool_->parallel_for(roads.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      RoadRt& rt = roads_[r];
+      if (rt.occupancy == 0) continue;  // occupancy >= vehicles on lanes
+      const net::Road& road = roads[r];
+      StreamRng& stream = road_streams_[r];
+      for (Lane& lane : rt.lanes) {
+        // Empty dedicated lanes are common (traffic concentrates on a few
+        // movements); skip them before paying the call.
+        if (!lane.vehicles.empty()) sweep_lane(road, rt, lane, stream);
+      }
     }
+  });
+  apply_completions();
+}
+
+void MicroSim::apply_completions() {
+  for (RoadId exit : net_.exit_roads()) {
+    RoadRt& rt = roads_[exit.index()];
+    if (!rt.completed.valid()) continue;
+    complete_vehicle(rt.completed);
+    rt.completed = VehicleId{};
   }
 }
 
 void MicroSim::complete_vehicle(VehicleId vid) {
-  Veh& v = vehicles_[vid.index()];
-  v.loc = Loc::Done;
-  roads_[v.road.index()].occupancy -= 1;
+  VehMeta& m = veh_meta_[vid.index()];
+  m.loc = Loc::Done;
+  roads_[m.road.index()].occupancy -= 1;
   in_network_count_ -= 1;
   result_.metrics.completed += 1;
-  result_.metrics.queuing_time_s.add(v.waiting_time);
-  result_.metrics.travel_time_s.add(now_ - v.entry_time);
-  // The slot becomes reusable next step; update_lane pops the id from its
-  // lane before any new vehicle can claim it (admission runs pre-update).
+  result_.metrics.queuing_time_s.add(veh_waiting_[vid.index()]);
+  result_.metrics.travel_time_s.add(now_ - m.entry_time);
+  // The slot becomes reusable next step; the sweep popped the id from its
+  // lane before any new vehicle can claim it (admission runs pre-sweep).
   free_slots_.push_back(vid.value());
 }
 
@@ -504,7 +599,8 @@ void MicroSim::step() {
   }
   admit_spawns();
   release_junction_vehicles();
-  update_roads();
+  service_junctions();
+  sweep_roads();
   now_ += config_.dt_s;
 }
 
@@ -517,21 +613,30 @@ stats::RunResult& MicroSim::run_until(double until_s) {
 stats::RunResult MicroSim::finish(double duration_s) {
   run_until(duration_s);
   finished_ = true;
+  // Flush the lane-carried waiting times of vehicles still on a lane back to
+  // the per-vehicle array before closing their records.
+  for (RoadRt& rt : roads_) {
+    for (Lane& lane : rt.lanes) {
+      for (std::size_t i = 0; i < lane.vehicles.size(); ++i) {
+        veh_waiting_[lane.vehicles[i].index()] = lane.waiting[i];
+      }
+    }
+  }
   // Close open records in spawn order: slot recycling permutes vehicle
   // indices, and the metric SampleSets are floating-point order-sensitive.
   std::vector<std::pair<std::uint64_t, VehicleId>> open;
-  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
-    const Veh& v = vehicles_[i];
-    if (v.loc != Loc::Lane && v.loc != Loc::Junction) continue;
-    open.emplace_back(v.spawn_seq, VehicleId(static_cast<VehicleId::value_type>(i)));
+  for (std::size_t i = 0; i < veh_meta_.size(); ++i) {
+    const VehMeta& m = veh_meta_[i];
+    if (m.loc != Loc::Lane && m.loc != Loc::Junction) continue;
+    open.emplace_back(m.spawn_seq, VehicleId(static_cast<VehicleId::value_type>(i)));
   }
   std::sort(open.begin(), open.end());
   for (const auto& [seq, vid] : open) {
-    Veh& v = vehicles_[vid.index()];
+    VehMeta& m = veh_meta_[vid.index()];
     result_.metrics.in_network_at_end += 1;
-    result_.metrics.queuing_time_s.add(v.waiting_time);
-    result_.metrics.travel_time_s.add(now_ - v.entry_time);
-    v.loc = Loc::Done;
+    result_.metrics.queuing_time_s.add(veh_waiting_[vid.index()]);
+    result_.metrics.travel_time_s.add(now_ - m.entry_time);
+    m.loc = Loc::Done;
   }
   for (stats::PhaseTrace& trace : result_.phase_traces) trace.finish(now_);
   result_.duration_s = now_;

@@ -25,9 +25,33 @@
 // readings come from speed-threshold detectors (optionally degraded by
 // MicroSimConfig::sensor); the capacity test of Eq. (8) uses physical
 // occupancy. See DESIGN.md §5 for the sensing rationale.
+//
+// --- Parallel tick architecture (see docs/PERFORMANCE.md) ---
+// Each tick is split into a short sequential junction phase (admission,
+// junction-box releases, stop-line service grants — everything that touches
+// cross-road state) and a data-parallel sweep phase: the Krauss update of
+// every lane, partitioned by road across a fixed ThreadPool. During the sweep
+// a road's work unit reads and writes only state owned by that road (its
+// lanes, its vehicles' kinematic arrays, its memo-table rows) and draws
+// dawdling noise from the road's own counter-based StreamRng, so fixed-seed
+// results are bit-identical at every MicroSimConfig::threads value. Exit-road
+// completions are staged per road during the sweep and applied sequentially
+// afterwards in exit-road order, keeping the floating-point metric
+// accumulation order thread-count independent.
+//
+// Vehicle state is stored SoA, split hot from cold. The kinematic state the
+// sweep touches on every vehicle-step — position and speed — lives in per-lane
+// parallel arrays kept in lockstep with the lane's vehicle-id queue, so the
+// inner Krauss loop streams over contiguous doubles in follow order instead
+// of gathering through vehicle ids (the AoS layout paid one-plus cache lines
+// per vehicle-step for exactly this). Waiting time and the resolved next
+// movement are global arrays indexed by VehicleId (touched only for slow or
+// head vehicles), and the cold metadata (route, timestamps, junction
+// bookkeeping) sits in a VehMeta array that only the junction phase reads.
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -38,6 +62,7 @@
 #include "src/stats/run_result.hpp"
 #include "src/traffic/demand.hpp"
 #include "src/util/rng.hpp"
+#include "src/util/thread_pool.hpp"
 #include "src/util/vec_queue.hpp"
 
 namespace abp::microsim {
@@ -77,7 +102,12 @@ class MicroSim {
  private:
   enum class Loc { Outside, Lane, Junction, Done };
 
-  struct Veh {
+  // Cold per-vehicle metadata. The hot kinematic state (position, speed,
+  // in-lane waiting time) lives in the per-lane SoA queues (Lane::pos/speed/
+  // waiting); the per-vehicle veh_waiting_ / veh_next_link_ arrays (indexed
+  // by VehicleId::index()) hold the carried waiting total and the resolved
+  // next movement.
+  struct VehMeta {
     traffic::Route route;
     // Global spawn ordinal. Slot recycling permutes vehicle indices, so
     // order-sensitive end-of-run bookkeeping sorts by this instead.
@@ -86,29 +116,55 @@ class MicroSim {
     Loc loc = Loc::Outside;
     RoadId road;      // current road (Loc::Lane) or target road (Loc::Junction)
     int lane = 0;     // lane index on `road`
-    double pos = 0.0;  // front-bumper distance from road start
-    double speed = 0.0;
     double junction_exit = 0.0;  // time the junction box releases the vehicle
     double entry_time = 0.0;
-    double waiting_time = 0.0;
-    // Resolved movement the vehicle takes at the end of its current road;
-    // invalid on exit roads or when the route commands a missing movement.
-    // Kept in sync with (road, next_turn) so mixed-lane queue counting never
-    // re-resolves the movement per query.
-    LinkId next_link;
   };
 
   struct Lane {
     // Movement this lane feeds; empty for the single lane of an exit road.
     std::optional<LinkId> link;
-    // Vehicles ordered head (largest pos) first; O(1) head pops.
+    // SoA lane state, index-aligned and ordered head (largest pos) first:
+    // vehicles[i] / pos[i] / speed[i] / waiting[i] describe the same vehicle.
+    // All four queues see the identical push/pop sequence, and VecQueue's
+    // layout is a pure function of that sequence, so the alignment holds by
+    // construction (mutate only through push_vehicle/pop_head). Keeping the
+    // kinematics in the lane makes the sweep's hot loop a contiguous
+    // streaming pass. `waiting` is the vehicle's accumulated waiting time
+    // carried into the lane on push and written back to the global
+    // veh_waiting_ array on pop — a scattered access once per road traversal
+    // instead of once per queued vehicle-step.
     VecQueue<VehicleId> vehicles;
+    VecQueue<double> pos;
+    VecQueue<double> speed;
+    VecQueue<double> waiting;
+    // Tick timestamp of the last service grant from this lane. A stop line
+    // is one physical server: on a mixed lane several green links share the
+    // lane, and without this stamp a second link could serve the new head in
+    // the same tick, doubling the lane's discharge rate.
+    double serviced_at = -1.0;
+
+    void push_vehicle(VehicleId vid, double p, double s, double w) {
+      vehicles.push_back(vid);
+      pos.push_back(p);
+      speed.push_back(s);
+      waiting.push_back(w);
+    }
+    void pop_head() {
+      vehicles.pop_front();
+      pos.pop_front();
+      speed.pop_front();
+      waiting.pop_front();
+    }
   };
 
   struct RoadRt {
     std::vector<Lane> lanes;
     // Vehicles on lanes + junction-box reservations headed here.
     int occupancy = 0;
+    // Exit-road completion staged by this tick's parallel sweep; applied (and
+    // cleared) sequentially by apply_completions(). At most one per tick:
+    // exit roads have a single lane and only its head can cross the far end.
+    VehicleId completed;
     // Spawns waiting outside the network for space, FIFO.
     std::deque<VehicleId> buffer;
   };
@@ -134,8 +190,15 @@ class MicroSim {
   [[nodiscard]] VehicleId alloc_vehicle();
   void admit_spawns();
   void release_junction_vehicles();
-  void update_roads();
-  void update_lane(const net::Road& road, Lane& lane);
+  // Sequential junction phase: stop-line service for the head vehicle of
+  // every green lane. Grants mutate cross-road state (downstream occupancy,
+  // the junction box), so this runs single-threaded before the sweep.
+  void service_junctions();
+  // Data-parallel phase: Krauss update of every lane, partitioned by road.
+  void sweep_roads();
+  void sweep_lane(const net::Road& road, RoadRt& rt, Lane& lane, StreamRng& rng);
+  // Applies the completions staged by sweep_roads(), in exit-road order.
+  void apply_completions();
   // Grants a crossing to `vid` (head of a green lane) if rate, capacity and
   // downstream insertion allow; returns true when granted.
   bool try_grant(VehicleId vid, LinkId link);
@@ -155,7 +218,7 @@ class MicroSim {
   // Sum of lane_queued_count over all lanes of the road (q_i of Eq. 1).
   [[nodiscard]] int road_queued_count(RoadId road, double threshold_mps) const;
   // The movement the vehicle will take at the end of `road`, if feasible.
-  [[nodiscard]] std::optional<LinkId> movement_of(const Veh& v, RoadId road) const;
+  [[nodiscard]] std::optional<LinkId> movement_of(const VehMeta& m, RoadId road) const;
   // True when a vehicle can be released at the start of the lane.
   [[nodiscard]] bool entry_clear(const RoadRt& rt, int lane_index) const;
 
@@ -163,26 +226,50 @@ class MicroSim {
   MicroSimConfig config_;
   std::vector<core::ControllerPtr> controllers_;
   traffic::DemandGenerator& demand_;
+  // Sequential-phase stream: sensor noise on controller observations. The
+  // sweep's dawdling draws come from road_streams_ instead, so the two never
+  // contend and thread count cannot shift either stream.
   Rng rng_;
+  std::uint64_t seed_ = 0;
+  // One counter-based dawdling stream per road (stream id = road index).
+  std::vector<StreamRng> road_streams_;
+  // Sweep-phase worker pool, sized config_.threads (inline when 1).
+  std::unique_ptr<ThreadPool> pool_;
 
   double now_ = 0.0;
   double next_control_ = 0.0;
   double next_sample_ = 0.0;
 
-  std::vector<Veh> vehicles_;
+  // --- Vehicle storage (SoA; position/speed live in the lanes) ---
+  std::vector<VehMeta> veh_meta_;
+  std::vector<double> veh_waiting_;
+  // Resolved movement the vehicle takes at the end of its current road;
+  // invalid on exit roads or when the route commands a missing movement.
+  // Kept in sync with (road, next_turn) so mixed-lane queue counting never
+  // re-resolves the movement per query.
+  std::vector<LinkId> veh_next_link_;
   // Slots of completed vehicles available for reuse.
   std::vector<VehicleId::value_type> free_slots_;
   // Vehicles with Loc::Lane or Loc::Junction, maintained incrementally.
   int in_network_count_ = 0;
+
   std::vector<RoadRt> roads_;
   std::vector<LinkRt> links_;
+  // Links granted right-of-way by the currently displayed phases, rebuilt by
+  // control_step() in (intersection, phase-link) order. The junction phase
+  // iterates exactly this set instead of scanning every lane of every road —
+  // most movements are red at any instant, and the green set only changes at
+  // control boundaries.
+  std::vector<LinkId> green_links_;
   std::vector<net::PhaseIndex> displayed_;
   // Vehicles currently inside a junction box, unordered.
   std::vector<VehicleId> in_junction_;
   // Control-step memo tables: queued counts per road (both detector
   // thresholds) and per link (approach threshold). Rebuilt during the lane
   // sweep of the tick preceding each control step (memo_pending_), where the
-  // vehicles are already in cache, so observe() is pure table reads.
+  // vehicles are already in cache, so observe() is pure table reads. Each
+  // row is written only by the work unit of the road that owns it (a link's
+  // row belongs to its from_road), so the parallel sweep stays race-free.
   std::vector<int> road_queued_approach_;
   std::vector<int> road_queued_congestion_;
   std::vector<int> link_queued_approach_;

@@ -106,4 +106,13 @@ Rng Rng::split() noexcept {
   return Rng(next());
 }
 
+StreamRng::StreamRng(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Derive the key by hashing both words through SplitMix64 so that nearby
+  // seeds and consecutive stream ids land on unrelated keys.
+  std::uint64_t x = seed;
+  const std::uint64_t a = splitmix64(x);
+  x = a ^ stream;
+  key_ = splitmix64(x);
+}
+
 }  // namespace abp

@@ -11,12 +11,20 @@
 // detection_probability < 1, measure_queue() draws one Bernoulli per *truly
 // queued vehicle* per reading, so the RNG stream consumption depends on every
 // queue count the simulator produces. Any refactor that perturbs queue
-// counting, observation order, or RNG call order shifts the dawdle stream and
-// changes these numbers.
+// counting, observation order, or RNG call order shifts the sensor stream and
+// changes these numbers. Dawdling noise comes from per-road counter-based
+// streams (StreamRng), so the pins additionally assert that the parallel lane
+// sweep is bit-identical at every MicroSimConfig::threads value — the
+// ThreadInvariance tests run the same fixed seed at 1, 2 and 8 threads and
+// demand equal metrics to the last bit.
 //
 // If a deliberate behavior change invalidates the pins, re-capture them with
 // the printed actuals — but only after convincing yourself the change is
-// intended (see docs/PERFORMANCE.md).
+// intended (see docs/PERFORMANCE.md). The micro pins were last re-captured
+// for PR 2, which moved dawdling off the sensor RNG stream onto per-road
+// StreamRngs, reordered the tick into junction phase + parallel sweep, and
+// switched the car-following update to the synchronous Krauss (1998) form
+// (followers react to the leader's previous-step state).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -70,19 +78,37 @@ TEST(GoldenDeterminism, QueueSimRunToRun) {
   expect_identical(a.metrics, b.metrics);
 }
 
-// Golden values captured from the pre-refactor seed implementation
-// (commit eb487fb plus the build system), 2x2 grid, seed 7, 900 s.
+// Golden values captured from the PR 2 parallel-tick implementation (per-road
+// StreamRng dawdling, junction phase + SoA sweep), 2x2 grid, seed 7, 900 s.
 TEST(GoldenDeterminism, MicroSimPinnedMetrics) {
   const auto r = scenario::run_scenario(golden_config(scenario::SimulatorKind::Micro));
   EXPECT_EQ(r.metrics.generated, 1272u);
   EXPECT_EQ(r.metrics.entered, 1272u);
-  EXPECT_EQ(r.metrics.completed, 1153u);
-  EXPECT_EQ(r.metrics.in_network_at_end, 119u);
+  EXPECT_EQ(r.metrics.completed, 1155u);
+  EXPECT_EQ(r.metrics.in_network_at_end, 117u);
   EXPECT_EQ(r.metrics.queuing_time_s.count(), 1272u);
   EXPECT_EQ(r.metrics.travel_time_s.count(), 1272u);
-  EXPECT_EQ(r.metrics.queuing_time_s.mean(), 0x1.bae168a772508p+3);  // 13.84001572
-  EXPECT_EQ(r.metrics.travel_time_s.mean(), 0x1.2017588daf7f3p+6);   // 72.02279874
+  EXPECT_EQ(r.metrics.queuing_time_s.mean(), 0x1.d6e7d95bc609bp+3);  // 14.71580189
+  EXPECT_EQ(r.metrics.travel_time_s.mean(), 0x1.26f1826a439f6p+6);   // 73.73584906
   EXPECT_EQ(r.metrics.entry_blocked_time_s, 0x1.0ap+6);              // 66.5
+}
+
+// The parallel sweep must be invisible in the results: same seed, same
+// metrics, bit for bit, at every thread count. Work is partitioned by road
+// with per-road counter-based dawdle streams, completions are applied in
+// exit-road order, and everything cross-road runs in the sequential junction
+// phase — so the thread count may only change wall-clock time. Eight threads
+// on a smaller machine exercises chunk counts above the core count.
+TEST(GoldenDeterminism, MicroSimThreadInvariance) {
+  scenario::ScenarioConfig base = golden_config(scenario::SimulatorKind::Micro);
+  const auto serial = scenario::run_scenario(base);
+  for (int threads : {2, 8}) {
+    scenario::ScenarioConfig cfg = base;
+    cfg.micro.threads = threads;
+    const auto parallel = scenario::run_scenario(cfg);
+    SCOPED_TRACE(threads);
+    expect_identical(serial.metrics, parallel.metrics);
+  }
 }
 
 TEST(GoldenDeterminism, QueueSimPinnedMetrics) {

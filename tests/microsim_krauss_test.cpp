@@ -139,5 +139,26 @@ TEST_P(KraussPlatoon, QueueDischargeIsOrderlyAndCollisionFree) {
 
 INSTANTIATE_TEST_SUITE_P(PlatoonSizes, KraussPlatoon, ::testing::Values(2, 5, 10, 20, 40));
 
+TEST(KraussFastPath, BitIdenticalToExactFormAcrossTheBoundary) {
+  // next_speed_fast may skip the sqrt only where it provably cannot change
+  // the result; sweep a dense grid of speeds, gaps and leader speeds —
+  // including the free-flow region where the fast path fires and the
+  // near-boundary region where it must fall through — and demand exact
+  // equality. Dawdle draws exercise the subtraction path too.
+  VehicleParams p;
+  Rng rng(31);
+  const double dt = 0.5;
+  for (double speed = 0.0; speed <= 15.0; speed += 0.76) {
+    for (double gap = -2.0; gap <= 60.0; gap += 0.93) {
+      for (double lead = 0.0; lead <= 15.0; lead += 2.41) {
+        const double r = rng.uniform01();
+        const double exact = next_speed(speed, gap, lead, 13.9, p, dt, r);
+        const double fast = next_speed_fast(speed, gap, lead, 13.9, p, dt, r);
+        ASSERT_EQ(exact, fast) << "v=" << speed << " g=" << gap << " lv=" << lead;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace abp::microsim
