@@ -1,7 +1,7 @@
 // Hot-path throughput bench: vehicle-steps per wall-clock second on square
 // grids from 1x1 to 8x8, for both simulators, over a 2-hour simulated run.
-// The micro simulator runs once serial and once on a 4-way thread pool, so
-// the JSON exposes the parallel-sweep scaling next to the serial baseline.
+// Each simulator runs once serial and once on a 4-way thread pool, so the
+// JSON exposes the parallel-sweep scaling next to the serial baseline.
 //
 // A "vehicle-step" is one vehicle being inside the network for one simulator
 // tick — the unit of useful work a simulator performs. Reporting throughput
@@ -91,12 +91,14 @@ Row run_micro(const net::Network& net, double duration_s, std::uint64_t seed, in
   return drive(sim, "micro", grid, threads, duration_s, config.dt_s);
 }
 
-Row run_queue(const net::Network& net, double duration_s, std::uint64_t seed, int grid) {
+Row run_queue(const net::Network& net, double duration_s, std::uint64_t seed, int grid,
+              int threads) {
   core::ControllerSpec spec;
   traffic::DemandGenerator demand(net, traffic::DemandConfig{}, seed);
   queuesim::QueueSimConfig config;
+  config.threads = threads;
   queuesim::QueueSim sim(net, config, core::make_controllers(spec, net), demand);
-  return drive(sim, "queue", grid, 1, duration_s, config.step_s);
+  return drive(sim, "queue", grid, threads, duration_s, config.step_s);
 }
 
 void write_json(const std::string& path, const std::vector<Row>& rows, double duration_s) {
@@ -129,7 +131,7 @@ int main(int argc, char** argv) {
   const double duration_s = 7200.0 * duration_scale();  // the paper's 2-hour horizon
   const std::uint64_t seed = 2020;
   const int grids[] = {1, 2, 3, 4, 6, 8};
-  const int micro_threads[] = {1, 4};
+  const int sim_threads[] = {1, 4};
 
   print_header("Hot-path throughput (vehicle-steps per wall-clock second)");
   std::printf("compiler: %s, hardware threads: %u\n", kCompiler,
@@ -156,8 +158,10 @@ int main(int argc, char** argv) {
     grid_cfg.rows = n;
     grid_cfg.cols = n;
     const net::Network net = net::build_grid(grid_cfg);
-    emit(run_queue(net, duration_s, seed, n));
-    for (int threads : micro_threads) {
+    for (int threads : sim_threads) {
+      emit(run_queue(net, duration_s, seed, n, threads));
+    }
+    for (int threads : sim_threads) {
       emit(run_micro(net, duration_s, seed, n, threads));
     }
   }

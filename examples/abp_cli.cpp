@@ -9,8 +9,9 @@
 //           [--simulator micro|queue] [--rows N] [--cols N]
 //           [--mixed-lanes] [--threads N] [--csv PREFIX]
 //
-// --threads drives the micro-sim's parallel lane sweep; metrics are
-// bit-identical at every value (see docs/PERFORMANCE.md).
+// --threads drives the selected simulator's road-partitioned parallel sweep
+// (the micro-sim's Krauss lane sweep, the queue-sim's service sweep);
+// metrics are bit-identical at every value (see docs/PERFORMANCE.md).
 //
 // Examples:
 //   abp_cli --pattern I --controller util
@@ -124,6 +125,7 @@ int main(int argc, char** argv) {
   cfg.simulator = simulator;
   cfg.micro.dedicated_turn_lanes = !mixed_lanes;
   cfg.micro.threads = threads;
+  cfg.queue.threads = threads;
   if (duration > 0.0) cfg.duration_s = duration;
   // Watch the north approach of the top-right junction (Fig. 5's setup uses
   // the east approach; north is present in every grid size).

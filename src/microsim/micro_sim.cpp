@@ -256,7 +256,8 @@ VehicleId MicroSim::alloc_vehicle() {
 }
 
 void MicroSim::admit_spawns() {
-  for (const traffic::SpawnRequest& req : demand_.poll(now_, now_ + config_.dt_s)) {
+  demand_.poll_into(now_, now_ + config_.dt_s, spawn_buffer_);
+  for (const traffic::SpawnRequest& req : spawn_buffer_) {
     const VehicleId vid = alloc_vehicle();
     VehMeta& m = veh_meta_[vid.index()];
     m.route = req.route;

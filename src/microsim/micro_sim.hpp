@@ -276,6 +276,8 @@ class MicroSim {
   bool memo_pending_ = false;
   // Per-entry-road admission scratch, sized to the widest road once.
   std::vector<char> lane_blocked_;
+  // Reused per-tick spawn buffer filled by DemandGenerator::poll_into.
+  std::vector<traffic::SpawnRequest> spawn_buffer_;
   // Reused by observe() so the per-decision link array is allocated once.
   core::IntersectionObservation obs_scratch_;
 

@@ -14,14 +14,21 @@ QueueSim::QueueSim(const net::Network& network, QueueSimConfig config,
   if (config_.control_interval_s < config_.step_s) {
     throw std::invalid_argument("control interval must be >= step");
   }
+  if (config_.threads < 1) throw std::invalid_argument("threads must be >= 1");
   if (controllers_.size() != net_.intersections().size()) {
     throw std::invalid_argument("need exactly one controller per intersection");
   }
+  pool_ = std::make_unique<ThreadPool>(config_.threads);
   roads_.resize(net_.roads().size());
   links_.resize(net_.links().size());
   displayed_.assign(net_.intersections().size(), net::kTransitionPhase);
   entry_buffer_.resize(net_.roads().size());
   road_queued_.assign(net_.roads().size(), 0);
+  serve_count_.assign(net_.links().size(), 0);
+  service_from_.assign(net_.roads().size(), 0);
+  staged_.resize(net_.links().size());
+  inbound_order_.resize(net_.roads().size());
+  completions_.resize(net_.roads().size());
   result_.phase_traces.resize(net_.intersections().size());
 }
 
@@ -43,6 +50,8 @@ net::PhaseIndex QueueSim::displayed_phase(IntersectionId node) const {
 int QueueSim::vehicles_in_network() const { return in_network_count_; }
 
 int QueueSim::queued_on_road(RoadId road) const { return road_queued_[road.index()]; }
+
+double QueueSim::link_credit(LinkId link) const { return links_[link.index()].credit; }
 
 const core::IntersectionObservation& QueueSim::observe(const net::Intersection& node) {
   core::IntersectionObservation& obs = obs_scratch_;
@@ -114,7 +123,8 @@ VehicleId QueueSim::alloc_vehicle() {
 }
 
 void QueueSim::admit_spawns(double from, double to) {
-  for (const traffic::SpawnRequest& req : demand_.poll(from, to)) {
+  demand_.poll_into(from, to, spawn_buffer_);
+  for (const traffic::SpawnRequest& req : spawn_buffer_) {
     const VehicleId vid = alloc_vehicle();
     VehicleRecord& rec = vehicles_[vid.index()];
     rec.route = req.route;
@@ -146,23 +156,7 @@ void QueueSim::admit_spawns(double from, double to) {
   }
 }
 
-void QueueSim::process_transits() {
-  for (const net::Road& road : net_.roads()) {
-    RoadState& state = roads_[road.id.index()];
-    while (!state.transit.empty() && state.transit.front().arrive_time <= now_) {
-      const VehicleId vid = state.transit.front().vehicle;
-      state.transit.pop_front();
-      if (road.is_exit()) {
-        state.occupancy -= 1;
-        complete_vehicle(vid);
-      } else {
-        route_vehicle_into_queue(vid, road.id);
-      }
-    }
-  }
-}
-
-void QueueSim::serve_links() {
+void QueueSim::arbitrate_service() {
   for (const net::Intersection& node : net_.intersections()) {
     const net::PhaseIndex phase = displayed_[node.id.index()];
     if (phase == net::kTransitionPhase) continue;
@@ -175,27 +169,91 @@ void QueueSim::serve_links() {
       lq.credit = std::min(lq.credit + link.service_rate * config_.step_s, burst);
       RoadState& downstream = roads_[link.to_road.index()];
       const int downstream_cap = net_.road(link.to_road).capacity;
-      while (lq.credit >= 1.0 && !lq.queue.empty() && downstream.occupancy < downstream_cap) {
-        const VehicleId vid = lq.queue.front();
-        lq.queue.pop_front();
-        road_queued_[link.from_road.index()] -= 1;
+      // The serial loop's serve arithmetic, with the vehicle pops deferred to
+      // the parallel passes: identical comparisons and credit subtractions,
+      // so the served counts (and therefore every metric) match bit for bit.
+      const int queued = static_cast<int>(lq.queue.size());
+      int served = 0;
+      while (lq.credit >= 1.0 && served < queued && downstream.occupancy < downstream_cap) {
         lq.credit -= 1.0;
+        road_queued_[link.from_road.index()] -= 1;
         roads_[link.from_road.index()].occupancy -= 1;
         downstream.occupancy += 1;
-        VehicleRecord& v = vehicles_[vid.index()];
-        v.next_turn += 1;
-        downstream.transit.push_back(
-            {now_ + net_.road(link.to_road).free_flow_time_s(), vid});
+        served += 1;
+      }
+      if (served > 0) {
+        serve_count_[lid.index()] = served;
+        service_from_[link.from_road.index()] = 1;
+        inbound_order_[link.to_road.index()].push_back(lid);
       }
     }
   }
 }
 
-void QueueSim::accumulate_queue_time() {
-  for (const LinkQueueState& lq : links_) {
-    for (VehicleId vid : lq.queue) {
-      vehicles_[vid.index()].queue_time += config_.step_s;
+void QueueSim::sweep_pop_served(std::size_t begin, std::size_t end) {
+  for (std::size_t r = begin; r < end; ++r) {
+    if (!service_from_[r]) continue;
+    service_from_[r] = 0;
+    for (LinkId lid : net_.links_from(net_.roads()[r].id)) {
+      const int served = serve_count_[lid.index()];
+      if (served == 0) continue;
+      serve_count_[lid.index()] = 0;
+      LinkQueueState& lq = links_[lid.index()];
+      std::vector<VehicleId>& staged = staged_[lid.index()];
+      for (int k = 0; k < served; ++k) {
+        const VehicleId vid = lq.queue.front();
+        lq.queue.pop_front();
+        vehicles_[vid.index()].next_turn += 1;
+        staged.push_back(vid);
+      }
     }
+  }
+}
+
+void QueueSim::sweep_deliver_and_transit(std::size_t begin, std::size_t end,
+                                         double serve_time) {
+  for (std::size_t r = begin; r < end; ++r) {
+    RoadState& state = roads_[r];
+    std::vector<LinkId>& inbound = inbound_order_[r];
+    // Idle road: nothing served into it, nothing in flight, nothing queued.
+    if (inbound.empty() && state.transit.empty() && road_queued_[r] == 0) continue;
+    const net::Road& road = net_.roads()[r];
+    if (!inbound.empty()) {
+      // Arrival timestamps use the pre-advance tick time, exactly as the
+      // serial loop pushed them during service.
+      const double arrive = serve_time + road.free_flow_time_s();
+      for (LinkId lid : inbound) {
+        std::vector<VehicleId>& staged = staged_[lid.index()];
+        for (VehicleId vid : staged) state.transit.push_back({arrive, vid});
+        staged.clear();
+      }
+      inbound.clear();
+    }
+    while (!state.transit.empty() && state.transit.front().arrive_time <= now_) {
+      const VehicleId vid = state.transit.front().vehicle;
+      state.transit.pop_front();
+      if (road.is_exit()) {
+        state.occupancy -= 1;
+        completions_[r].push_back(vid);
+      } else {
+        route_vehicle_into_queue(vid, road.id);
+      }
+    }
+    if (road_queued_[r] > 0) {
+      for (LinkId lid : net_.links_from(road.id)) {
+        for (VehicleId vid : links_[lid.index()].queue) {
+          vehicles_[vid.index()].queue_time += config_.step_s;
+        }
+      }
+    }
+  }
+}
+
+void QueueSim::apply_completions() {
+  for (RoadId exit : net_.exit_roads()) {
+    std::vector<VehicleId>& staged = completions_[exit.index()];
+    for (VehicleId vid : staged) complete_vehicle(vid);
+    staged.clear();
   }
 }
 
@@ -217,10 +275,22 @@ void QueueSim::step() {
     next_sample_ += config_.sample_interval_s;
   }
   admit_spawns(now_, now_ + config_.step_s);
-  serve_links();
+  arbitrate_service();
+  const double serve_time = now_;  // arrival stamps predate the advance
   now_ += config_.step_s;
-  process_transits();
-  accumulate_queue_time();
+  // Road-partitioned parallel service sweep. Two passes with a barrier
+  // between them: pass 1 touches only from-road state (movement queues,
+  // vehicles being served), pass 2 only to-road state (transit FIFO, its own
+  // queues' waiting times) — the barrier is what lets a road's work unit
+  // drain the staging its upstream roads wrote. With threads == 1 both
+  // dispatches degenerate to inline loops.
+  const std::size_t road_count = net_.roads().size();
+  pool_->parallel_for(road_count,
+                      [this](std::size_t b, std::size_t e) { sweep_pop_served(b, e); });
+  pool_->parallel_for(road_count, [this, serve_time](std::size_t b, std::size_t e) {
+    sweep_deliver_and_transit(b, e, serve_time);
+  });
+  apply_completions();
 }
 
 stats::RunResult& QueueSim::run_until(double until_s) {

@@ -13,15 +13,40 @@
 // it is used by the property tests (work conservation, stability, capacity
 // safety) and by the model-level cross-check bench; the microscopic simulator
 // (src/microsim) is the SUMO substitute used for the headline experiments.
+//
+// --- Parallel tick architecture (see docs/PERFORMANCE.md) ---
+// Each tick is split into a short sequential phase and a road-partitioned
+// parallel service sweep, mirroring MicroSim. The sequential phase runs the
+// controllers, admits demand (batched: one DemandGenerator::poll_into per
+// tick into a reused buffer) and *arbitrates* service: the exact credit /
+// downstream-capacity arithmetic of the serial loop, in the serial
+// (intersection, phase-link) order, but recording only how many vehicles
+// each movement serves — the cross-road couplings (a serve pops upstream
+// state and reserves downstream capacity) all live here. The per-vehicle
+// work then runs on the ThreadPool in two road-partitioned passes: pass 1
+// pops each road's served vehicles out of its own movement queues into
+// per-link staging, and pass 2 (after a barrier, so every upstream road has
+// staged) delivers staged vehicles into the road's transit FIFO in the
+// recorded serial order, processes due transits, and accumulates queue time
+// over the road's own queues. Exit completions are staged per road and
+// applied sequentially in exit-road (= road id) order, keeping the
+// floating-point metric accumulation order thread-count independent. The
+// sweep consumes no randomness (all stochastic draws — arrival times, route
+// sampling — happen in the sequential admission phase on per-entry-road
+// streams), so fixed-seed metrics are bit-identical at every
+// QueueSimConfig::threads value, and identical to the serial loop.
 #pragma once
 
 #include <optional>
 #include <vector>
 
+#include <memory>
+
 #include "src/core/controller.hpp"
 #include "src/net/network.hpp"
 #include "src/stats/run_result.hpp"
 #include "src/traffic/demand.hpp"
+#include "src/util/thread_pool.hpp"
 #include "src/util/vec_queue.hpp"
 
 namespace abp::queuesim {
@@ -33,6 +58,9 @@ struct QueueSimConfig {
   double control_interval_s = 1.0;
   // Interval between samples pushed to registered road watches.
   double sample_interval_s = 10.0;
+  // Total parallelism of the per-road service sweep (1 = serial, no worker
+  // threads). Fixed-seed metrics are bit-identical at every value.
+  int threads = 1;
 };
 
 class QueueSim {
@@ -63,6 +91,12 @@ class QueueSim {
   [[nodiscard]] net::PhaseIndex displayed_phase(IntersectionId node) const;
   // Total vehicles inside the network right now (test hook).
   [[nodiscard]] int vehicles_in_network() const;
+  // Fractional service credit currently banked by a movement (test hook for
+  // the burst clamp and the green-loss credit cut).
+  [[nodiscard]] double link_credit(LinkId link) const;
+  // Vehicles queued at the stop line of `road`, over all its movements
+  // (q_i of Eq. 1; O(1), maintained incrementally). Also a test hook.
+  [[nodiscard]] int queued_on_road(RoadId road) const;
 
  private:
   struct VehicleRecord {
@@ -105,21 +139,35 @@ class QueueSim {
   // free so storage stays O(peak active + waiting), not O(history).
   [[nodiscard]] VehicleId alloc_vehicle();
   void admit_spawns(double from, double to);
-  void process_transits();
-  void serve_links();
-  void accumulate_queue_time();
+  // Sequential service arbitration: the serial loop's credit replenishment,
+  // burst clamp and downstream-capacity checks, in (intersection, phase-link)
+  // order, committing occupancy / queued-count deltas and recording per-link
+  // serve counts for the parallel passes. Touches cross-road state, so it
+  // stays single-threaded — the queue-sim analog of MicroSim's junction phase.
+  void arbitrate_service();
+  // Parallel pass 1 (partition by road): pop each road's served vehicles out
+  // of its own movement queues into per-link staging, bumping their routes.
+  void sweep_pop_served(std::size_t begin, std::size_t end);
+  // Parallel pass 2 (partition by road): deliver staged vehicles into the
+  // road's transit FIFO (serial arrival order), process transits that are
+  // due, stage exit completions, and accumulate queue time. `serve_time` is
+  // the pre-advance tick time (arrival timestamps match the serial loop).
+  void sweep_deliver_and_transit(std::size_t begin, std::size_t end, double serve_time);
+  // Applies the completions staged by pass 2, in exit-road (road id) order.
+  void apply_completions();
   void sample_watches();
   void route_vehicle_into_queue(VehicleId vid, RoadId road);
   void complete_vehicle(VehicleId vid);
   // Fills and returns the reusable observation buffer (valid until the next
   // observe() call); avoids re-allocating the link array per decision.
   [[nodiscard]] const core::IntersectionObservation& observe(const net::Intersection& node);
-  [[nodiscard]] int queued_on_road(RoadId road) const;
 
   const net::Network& net_;
   QueueSimConfig config_;
   std::vector<core::ControllerPtr> controllers_;
   traffic::DemandGenerator& demand_;
+  // Sweep-phase worker pool, sized config_.threads (inline when 1).
+  std::unique_ptr<ThreadPool> pool_;
 
   double now_ = 0.0;
   double next_control_ = 0.0;
@@ -138,6 +186,30 @@ class QueueSim {
   std::vector<int> road_queued_;
   // Spawns waiting for space on their (full) entry road, FIFO per road.
   std::vector<VecQueue<VehicleId>> entry_buffer_;
+  // Reused per-tick spawn buffer filled by DemandGenerator::poll_into.
+  std::vector<traffic::SpawnRequest> spawn_buffer_;
+
+  // --- Per-tick staging between arbitration and the parallel passes ---
+  // Vehicles each link serves this tick; written by arbitrate_service(),
+  // consumed and zeroed by pass 1 (every serving link is visited via its
+  // from_road's work unit, so no separate clear is needed).
+  std::vector<int> serve_count_;
+  // Roads with at least one serving outgoing link this tick; lets pass 1
+  // skip the per-link scan on the (common) roads that serve nothing.
+  // Written by arbitrate_service(), consumed and cleared by pass 1.
+  std::vector<char> service_from_;
+  // Served vehicles popped by pass 1, keyed by link; a link's staging is
+  // written only by its from_road's work unit and drained (after the
+  // barrier) only by its to_road's, so the passes never race.
+  std::vector<std::vector<VehicleId>> staged_;
+  // Links that served into each road this tick, in the serial serve order;
+  // pass 2 drains staging in exactly this order so the downstream transit
+  // FIFO matches the serial loop's push order bit for bit.
+  std::vector<std::vector<LinkId>> inbound_order_;
+  // Exit completions staged by pass 2 (FIFO per road), applied sequentially
+  // by apply_completions(): metric accumulation is floating-point
+  // order-sensitive and mutates shared counters.
+  std::vector<std::vector<VehicleId>> completions_;
 
   std::vector<Watch> watches_;
   // Reused by observe() so the per-decision link array is allocated once.

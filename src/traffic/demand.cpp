@@ -1,6 +1,7 @@
 #include "src/traffic/demand.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace abp::traffic {
 
@@ -13,6 +14,7 @@ DemandGenerator::DemandGenerator(const net::Network& network, DemandConfig confi
 void DemandGenerator::seed_processes() {
   processes_.clear();
   total_ = 0;
+  next_due_ = std::numeric_limits<double>::infinity();
   Rng master(seed_);
   for (RoadId road : network_.entry_roads()) {
     EntryProcess p{.road = road,
@@ -22,6 +24,7 @@ void DemandGenerator::seed_processes() {
     // First arrival: one full inter-arrival gap from time zero, so an empty
     // network warms up the same way in both simulators.
     p.next_arrival = p.rng.exponential(mean_at(p.side, 0.0));
+    next_due_ = std::min(next_due_, p.next_arrival);
     processes_.push_back(std::move(p));
   }
 }
@@ -37,6 +40,17 @@ double DemandGenerator::mean_at(net::Side side, double time_s) const {
 
 std::vector<SpawnRequest> DemandGenerator::poll(double from_time, double to_time) {
   std::vector<SpawnRequest> spawns;
+  poll_into(from_time, to_time, spawns);
+  return spawns;
+}
+
+void DemandGenerator::poll_into(double from_time, double to_time,
+                                std::vector<SpawnRequest>& out) {
+  out.clear();
+  // Fast path: nothing anywhere is due before the window closes, so no
+  // process state can change — skip the per-road scan.
+  if (next_due_ >= to_time) return;
+  double next_due = std::numeric_limits<double>::infinity();
   for (EntryProcess& p : processes_) {
     while (p.next_arrival < to_time) {
       if (p.next_arrival >= from_time) {
@@ -44,15 +58,16 @@ std::vector<SpawnRequest> DemandGenerator::poll(double from_time, double to_time
         req.time = p.next_arrival;
         req.entry = p.road;
         req.route = sample_route(network_, p.road, config_.turning, p.rng);
-        spawns.push_back(std::move(req));
+        out.push_back(std::move(req));
         ++total_;
       }
       p.next_arrival += p.rng.exponential(mean_at(p.side, p.next_arrival));
     }
+    next_due = std::min(next_due, p.next_arrival);
   }
-  std::sort(spawns.begin(), spawns.end(),
+  next_due_ = next_due;
+  std::sort(out.begin(), out.end(),
             [](const SpawnRequest& a, const SpawnRequest& b) { return a.time < b.time; });
-  return spawns;
 }
 
 }  // namespace abp::traffic

@@ -1,11 +1,12 @@
 // Fixed-size thread pool for intra-tick data parallelism.
 //
-// The simulators dispatch one parallel region per tick (the per-road Krauss
-// sweep), tens of thousands of times per run, so the pool is built for cheap
-// repeated fork/join over the same worker set rather than for general task
-// graphs: workers are spawned once, park on a condition variable between
-// regions, and each parallel_for() splits the index range into one contiguous
-// chunk per participant. The calling thread always executes chunk 0 itself,
+// The simulators dispatch a handful of parallel regions per tick (MicroSim's
+// per-road Krauss sweep; QueueSim's two-pass service sweep), tens of
+// thousands of times per run, so the pool is built for cheap repeated
+// fork/join over the same worker set rather than for general task graphs:
+// workers are spawned once, park on a condition variable between regions,
+// and each parallel_for() splits the index range into one contiguous chunk
+// per participant. The calling thread always executes chunk 0 itself,
 // so ThreadPool(n) provides n-way parallelism with n-1 worker threads and
 // ThreadPool(1) degenerates to an inline loop with no threads and no locking.
 //

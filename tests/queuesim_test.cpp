@@ -24,6 +24,25 @@ class ConstantController final : public core::SignalController {
   net::PhaseIndex phase_;
 };
 
+// Controller that displays `before` for the first `switch_at` decisions and
+// `after` from then on (test instrument for phase-change behavior).
+class ScheduledController final : public core::SignalController {
+ public:
+  ScheduledController(net::PhaseIndex before, net::PhaseIndex after, int switch_at)
+      : before_(before), after_(after), switch_at_(switch_at) {}
+  net::PhaseIndex decide(const core::IntersectionObservation&) override {
+    return decisions_++ < switch_at_ ? before_ : after_;
+  }
+  void reset() override { decisions_ = 0; }
+  std::string name() const override { return "SCHED"; }
+
+ private:
+  net::PhaseIndex before_;
+  net::PhaseIndex after_;
+  int switch_at_;
+  int decisions_ = 0;
+};
+
 net::Network grid(int n = 1) {
   net::GridConfig cfg;
   cfg.rows = n;
@@ -173,6 +192,85 @@ TEST(QueueSim, UtilBpIsWorkConservingAtTheJunction) {
   EXPECT_EQ(adjacent_violations, 0);
 }
 
+TEST(QueueSim, ServiceCreditCapsAtOneBurstOnEmptyQueue) {
+  // A movement held green over an empty queue must not bank service: without
+  // the burst clamp, fifty green steps would accumulate fifty vehicles of
+  // credit and discharge a later platoon far above mu. The cap is one burst,
+  // max(1, mu * step): one vehicle per step at the paper's mu = 1, step = 1.
+  const net::Network net = grid(1);
+  traffic::DemandConfig dcfg = demand_cfg();
+  dcfg.interarrival_scale = 1.0e9;  // effectively no arrivals this run
+  traffic::DemandGenerator demand(net, dcfg, 5);
+  QueueSim sim(net, QueueSimConfig{}, constant_controllers(net, 1), demand);
+  sim.run_until(50.0);
+  const net::Intersection& node = net.intersections().front();
+  ASSERT_FALSE(node.phases[1].links.empty());
+  for (LinkId lid : node.phases[1].links) {
+    EXPECT_DOUBLE_EQ(sim.link_credit(lid), 1.0) << "link " << lid.index();
+  }
+  // Movements outside the displayed phase never replenish.
+  for (const net::Link& l : net.links()) {
+    const auto& phase_links = node.phases[1].links;
+    if (std::find(phase_links.begin(), phase_links.end(), l.id) == phase_links.end()) {
+      EXPECT_DOUBLE_EQ(sim.link_credit(l.id), 0.0) << "link " << l.id.index();
+    }
+  }
+}
+
+TEST(QueueSim, ServiceCreditBurstScalesWithStep) {
+  // With a 2 s mini-slot the burst is mu * step = 2 vehicles, so an idle
+  // green movement banks exactly one mini-slot's worth, never more.
+  const net::Network net = grid(1);
+  traffic::DemandConfig dcfg = demand_cfg();
+  dcfg.interarrival_scale = 1.0e9;
+  traffic::DemandGenerator demand(net, dcfg, 5);
+  QueueSim sim(net, QueueSimConfig{.step_s = 2.0, .control_interval_s = 2.0},
+               constant_controllers(net, 1), demand);
+  sim.run_until(40.0);
+  for (LinkId lid : net.intersections().front().phases[1].links) {
+    EXPECT_DOUBLE_EQ(sim.link_credit(lid), 2.0) << "link " << lid.index();
+  }
+}
+
+TEST(QueueSim, PhaseChangeCutsBankedCredit) {
+  // Losing green forfeits banked service credit: after the controller swaps
+  // phases, the links that lost green restart from zero credit while the
+  // newly green links hold exactly one step's replenishment.
+  const net::Network net = grid(1);
+  traffic::DemandConfig dcfg = demand_cfg();
+  dcfg.interarrival_scale = 1.0e9;
+  traffic::DemandGenerator demand(net, dcfg, 5);
+  std::vector<core::ControllerPtr> cs;
+  // c1 (NS straight + easy turn) for ten decisions, then c3 (EW): the axes
+  // are disjoint, so every c1 link loses green at the switch.
+  cs.push_back(std::make_unique<ScheduledController>(1, 3, 10));
+  QueueSim sim(net, QueueSimConfig{}, std::move(cs), demand);
+
+  const net::Intersection& node = net.intersections().front();
+  const auto& before_links = node.phases[1].links;
+  const auto& after_links = node.phases[3].links;
+  std::vector<LinkId> lost;  // green in c1, red in c3
+  for (LinkId lid : before_links) {
+    if (std::find(after_links.begin(), after_links.end(), lid) == after_links.end()) {
+      lost.push_back(lid);
+    }
+  }
+  ASSERT_FALSE(lost.empty());
+
+  sim.run_until(10.0);  // decisions at t=0..9 all display c1
+  for (LinkId lid : lost) ASSERT_DOUBLE_EQ(sim.link_credit(lid), 1.0);
+
+  sim.run_until(11.0);  // decision at t=10 switches to c3
+  ASSERT_EQ(sim.displayed_phase(node.id), 3);
+  for (LinkId lid : lost) {
+    EXPECT_DOUBLE_EQ(sim.link_credit(lid), 0.0) << "link " << lid.index();
+  }
+  // The newly green movements were cut too, then replenished once.
+  for (LinkId lid : after_links) {
+    EXPECT_DOUBLE_EQ(sim.link_credit(lid), 1.0) << "link " << lid.index();
+  }
+}
+
 TEST(QueueSim, DeterministicReplay) {
   const net::Network net = grid(2);
   auto run_once = [&]() {
@@ -223,6 +321,44 @@ TEST(QueueSim, RejectsBadConstruction) {
                         core::make_controllers(util_spec(), net), demand),
                std::invalid_argument);
   EXPECT_THROW(QueueSim(net, QueueSimConfig{}, {}, demand), std::invalid_argument);
+  EXPECT_THROW(QueueSim(net, QueueSimConfig{.threads = 0},
+                        core::make_controllers(util_spec(), net), demand),
+               std::invalid_argument);
+}
+
+TEST(QueueSim, ParallelSweepMatchesSerialStateExactly) {
+  // Beyond the golden metric pins: the full observable mid-run state (every
+  // movement queue, every road occupancy, every banked credit, every phase)
+  // must be identical between the serial and the threaded sweep at every
+  // sampled instant.
+  const net::Network net = grid(2);
+  auto make_sim = [&](int threads, traffic::DemandGenerator& demand) {
+    QueueSimConfig cfg;
+    cfg.threads = threads;
+    return QueueSim(net, cfg, core::make_controllers(util_spec(), net), demand);
+  };
+  traffic::DemandGenerator demand_a(net, demand_cfg(traffic::PatternKind::I), 41);
+  traffic::DemandGenerator demand_b(net, demand_cfg(traffic::PatternKind::I), 41);
+  QueueSim serial = make_sim(1, demand_a);
+  QueueSim threaded = make_sim(3, demand_b);
+  for (int t = 1; t <= 300; ++t) {
+    serial.run_until(static_cast<double>(t));
+    threaded.run_until(static_cast<double>(t));
+    ASSERT_EQ(serial.vehicles_in_network(), threaded.vehicles_in_network()) << t;
+    for (const net::Road& road : net.roads()) {
+      ASSERT_EQ(serial.road_occupancy(road.id), threaded.road_occupancy(road.id))
+          << road.name << " t=" << t;
+      ASSERT_EQ(serial.queued_on_road(road.id), threaded.queued_on_road(road.id))
+          << road.name << " t=" << t;
+    }
+    for (const net::Link& l : net.links()) {
+      ASSERT_EQ(serial.link_queue(l.id), threaded.link_queue(l.id)) << t;
+      ASSERT_EQ(serial.link_credit(l.id), threaded.link_credit(l.id)) << t;
+    }
+    for (const net::Intersection& node : net.intersections()) {
+      ASSERT_EQ(serial.displayed_phase(node.id), threaded.displayed_phase(node.id)) << t;
+    }
+  }
 }
 
 TEST(QueueSim, FinishIsTerminal) {
