@@ -4,10 +4,16 @@
 //
 // Paper shape to match: a U-shaped (convex) CAP-BP curve over the period
 // axis (10-80 s) whose minimum still lies above the UTIL-BP horizontal line.
+//
+// The whole sweep — the UTIL-BP reference plus every CAP-BP period — is one
+// config batch through exp::ExperimentRunner, sized to the machine with
+// max_safe_jobs(); results are bit-identical to the old serial loop at every
+// jobs count (the runner's invariance test pins this).
 #include <iostream>
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "src/exp/experiment_runner.hpp"
 #include "src/scenario/scenario.hpp"
 #include "src/stats/report.hpp"
 #include "src/util/ascii_chart.hpp"
@@ -21,17 +27,33 @@ int main() {
       traffic::paper_duration_s(traffic::PatternKind::Mixed) * bench::duration_scale();
   constexpr std::uint64_t kSeed = 2020;
 
-  // UTIL-BP reference (period-free).
-  scenario::ScenarioConfig util_cfg =
-      scenario::paper_scenario(traffic::PatternKind::Mixed, core::ControllerType::UtilBp);
-  util_cfg.duration_s = duration;
-  util_cfg.seed = kSeed;
-  const double util_queuing =
-      scenario::run_scenario(util_cfg).metrics.average_queuing_time_s();
-
   std::vector<double> periods;
   for (double p = 10.0; p <= 40.0; p += 2.0) periods.push_back(p);
   for (double p = 45.0; p <= 80.0; p += 5.0) periods.push_back(p);
+
+  // Batch: configs[0] is the period-free UTIL-BP reference, configs[1 + i]
+  // is CAP-BP at periods[i].
+  std::vector<scenario::ScenarioConfig> configs;
+  {
+    scenario::ScenarioConfig util_cfg =
+        scenario::paper_scenario(traffic::PatternKind::Mixed, core::ControllerType::UtilBp);
+    util_cfg.duration_s = duration;
+    util_cfg.seed = kSeed;
+    configs.push_back(util_cfg);
+  }
+  for (double period : periods) {
+    scenario::ScenarioConfig cfg = scenario::paper_scenario(
+        traffic::PatternKind::Mixed, core::ControllerType::CapBp, period);
+    cfg.duration_s = duration;
+    cfg.seed = kSeed;
+    configs.push_back(cfg);
+  }
+
+  const int jobs = exp::max_safe_jobs();
+  std::cout << "[exp] " << configs.size() << " runs, jobs=" << jobs << "\n";
+  exp::ExperimentRunner runner({.jobs = jobs});
+  const std::vector<stats::RunResult> results = runner.run(configs);
+  const double util_queuing = results[0].metrics.average_queuing_time_s();
 
   stats::TextTable table({"Period [s]", "CAP-BP avg queuing [s]", "UTIL-BP avg queuing [s]"});
   ChartSeries cap_series{.name = "CAP-BP (capacity-aware, fixed-length)", .marker = 'o'};
@@ -43,12 +65,9 @@ int main() {
 
   double best_cap = 1e18;
   double best_period = 0.0;
-  for (double period : periods) {
-    scenario::ScenarioConfig cfg = scenario::paper_scenario(
-        traffic::PatternKind::Mixed, core::ControllerType::CapBp, period);
-    cfg.duration_s = duration;
-    cfg.seed = kSeed;
-    const double q = scenario::run_scenario(cfg).metrics.average_queuing_time_s();
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    const double period = periods[i];
+    const double q = results[1 + i].metrics.average_queuing_time_s();
     if (q < best_cap) {
       best_cap = q;
       best_period = period;

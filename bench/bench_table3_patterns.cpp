@@ -4,12 +4,28 @@
 //
 // Paper shape to match: UTIL-BP below best CAP-BP on every row, roughly 13%
 // better on average, and a pattern-dependent optimal CAP-BP period.
+//
+// All five patterns' sweeps — 5 x (20 CAP-BP periods + 1 UTIL-BP reference)
+// = 105 independent runs — execute as one exp::ExperimentRunner batch sized
+// to the machine with max_safe_jobs(); results are bit-identical to the old
+// serial loops at every jobs count.
 #include <iostream>
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "src/exp/experiment_runner.hpp"
 #include "src/scenario/scenario.hpp"
 #include "src/stats/report.hpp"
+
+namespace {
+
+// Identifies what configs[i] of the global batch measures.
+struct Cell {
+  abp::traffic::PatternKind pattern;
+  double period = 0.0;  // 0 = the pattern's UTIL-BP reference run
+};
+
+}  // namespace
 
 int main() {
   using namespace abp;
@@ -24,6 +40,31 @@ int main() {
   for (double p = 10.0; p <= 40.0; p += 2.0) periods.push_back(p);
   for (double p = 45.0; p <= 60.0; p += 5.0) periods.push_back(p);
 
+  std::vector<Cell> cells;
+  std::vector<scenario::ScenarioConfig> configs;
+  for (traffic::PatternKind pattern : patterns) {
+    const double duration = traffic::paper_duration_s(pattern) * bench::duration_scale();
+    for (double period : periods) {
+      scenario::ScenarioConfig cfg =
+          scenario::paper_scenario(pattern, core::ControllerType::CapBp, period);
+      cfg.duration_s = duration;
+      cfg.seed = kSeed;
+      cells.push_back({pattern, period});
+      configs.push_back(cfg);
+    }
+    scenario::ScenarioConfig util_cfg =
+        scenario::paper_scenario(pattern, core::ControllerType::UtilBp);
+    util_cfg.duration_s = duration;
+    util_cfg.seed = kSeed;
+    cells.push_back({pattern, 0.0});
+    configs.push_back(util_cfg);
+  }
+
+  const int jobs = exp::max_safe_jobs();
+  std::cout << "[exp] " << configs.size() << " runs, jobs=" << jobs << "\n";
+  exp::ExperimentRunner runner({.jobs = jobs});
+  const std::vector<stats::RunResult> results = runner.run(configs);
+
   stats::TextTable table({"Pattern", "CAP-BP best period [s]", "CAP-BP avg queuing [s]",
                           "UTIL-BP avg queuing [s]", "Improvement [%]"});
   auto csv = bench::open_csv("table3_patterns");
@@ -34,27 +75,19 @@ int main() {
   double improvement_sum = 0.0;
   int rows = 0;
   for (traffic::PatternKind pattern : patterns) {
-    const double duration = traffic::paper_duration_s(pattern) * bench::duration_scale();
-
     double best_cap = 1e18;
     double best_period = 0.0;
-    for (double period : periods) {
-      scenario::ScenarioConfig cfg =
-          scenario::paper_scenario(pattern, core::ControllerType::CapBp, period);
-      cfg.duration_s = duration;
-      cfg.seed = kSeed;
-      const double q = scenario::run_scenario(cfg).metrics.average_queuing_time_s();
-      if (q < best_cap) {
+    double util_q = 0.0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i].pattern != pattern) continue;
+      const double q = results[i].metrics.average_queuing_time_s();
+      if (cells[i].period == 0.0) {
+        util_q = q;
+      } else if (q < best_cap) {
         best_cap = q;
-        best_period = period;
+        best_period = cells[i].period;
       }
     }
-
-    scenario::ScenarioConfig util_cfg =
-        scenario::paper_scenario(pattern, core::ControllerType::UtilBp);
-    util_cfg.duration_s = duration;
-    util_cfg.seed = kSeed;
-    const double util_q = scenario::run_scenario(util_cfg).metrics.average_queuing_time_s();
 
     const double improvement = 100.0 * (best_cap - util_q) / best_cap;
     improvement_sum += improvement;

@@ -2,25 +2,40 @@
 //
 // Runs one scenario and prints the metrics; optionally dumps the queue
 // series and the phase trace of a chosen junction as CSV for plotting.
+// With --replications N it runs N seed-replications (seeds seed..seed+N-1)
+// through the experiment runner and prints the per-seed results plus the
+// mean with a Student-t 95% confidence interval.
 //
 // Usage:
 //   abp_cli [--pattern I|II|III|IV|mixed] [--controller util|cap|orig|fixed]
 //           [--duration SECONDS] [--period SECONDS] [--seed N]
 //           [--simulator micro|queue] [--rows N] [--cols N]
-//           [--mixed-lanes] [--threads N] [--csv PREFIX]
+//           [--mixed-lanes] [--threads N] [--replications N] [--jobs N]
+//           [--allow-oversubscribe] [--csv PREFIX]
 //
-// --threads drives the selected simulator's road-partitioned parallel sweep
-// (the micro-sim's Krauss lane sweep, the queue-sim's service sweep);
-// metrics are bit-identical at every value (see docs/PERFORMANCE.md).
+// Two parallelism axes, which multiply (see docs/PERFORMANCE.md,
+// "Run-level vs tick-level parallelism"):
+//   --threads N  tick-level: the selected simulator's road-partitioned
+//                parallel sweep (the micro-sim's Krauss lane sweep, the
+//                queue-sim's service sweep). Worth it for one big run.
+//   --jobs N     run-level: concurrent replications in --replications mode.
+//                Worth it for many independent runs.
+// Metrics are bit-identical at every --threads and every --jobs value. Each
+// of the N concurrent runs uses --threads sweep workers, so the CLI rejects
+// jobs x threads > hardware_concurrency unless --allow-oversubscribe is
+// passed (oversubscribing only adds contention).
 //
 // Examples:
 //   abp_cli --pattern I --controller util
 //   abp_cli --pattern mixed --controller cap --period 20 --csv out/run1
+//   abp_cli --pattern II --replications 10 --jobs 4
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "src/scenario/scenario.hpp"
 #include "src/util/csv.hpp"
@@ -35,6 +50,7 @@ namespace {
                "               [--duration S] [--period S] [--seed N] "
                "[--simulator micro|queue]\n"
                "               [--rows N] [--cols N] [--mixed-lanes] [--threads N]\n"
+               "               [--replications N] [--jobs N] [--allow-oversubscribe]\n"
                "               [--csv PREFIX]\n");
   std::exit(2);
 }
@@ -71,6 +87,9 @@ int main(int argc, char** argv) {
   scenario::SimulatorKind simulator = scenario::SimulatorKind::Micro;
   int rows = 3, cols = 3;
   int threads = 1;
+  int replications = 1;
+  int jobs = 1;
+  bool allow_oversubscribe = false;
   bool mixed_lanes = false;
   std::string csv_prefix;
 
@@ -105,6 +124,12 @@ int main(int argc, char** argv) {
       cols = std::atoi(value().c_str());
     } else if (arg == "--threads") {
       threads = std::atoi(value().c_str());
+    } else if (arg == "--replications") {
+      replications = std::atoi(value().c_str());
+    } else if (arg == "--jobs") {
+      jobs = std::atoi(value().c_str());
+    } else if (arg == "--allow-oversubscribe") {
+      allow_oversubscribe = true;
     } else if (arg == "--mixed-lanes") {
       mixed_lanes = true;
     } else if (arg == "--csv") {
@@ -117,6 +142,28 @@ int main(int argc, char** argv) {
   }
 
   if (threads < 1 || threads > 256) usage_error("--threads must be in [1, 256]");
+  if (replications < 1) usage_error("--replications must be >= 1");
+  if (jobs < 1 || jobs > 256) usage_error("--jobs must be in [1, 256]");
+  if (jobs > 1 && replications == 1) {
+    usage_error("--jobs only applies to --replications batches");
+  }
+  // The two axes multiply: each of the concurrent runs spins up `threads`
+  // sweep workers. At most min(jobs, replications) runs are ever in flight,
+  // so judge that; reject silent oversubscription here with a friendlier
+  // message than the experiment runner's exception.
+  const int concurrent_runs = jobs < replications ? jobs : replications;
+  const unsigned hc = std::thread::hardware_concurrency();
+  if (!allow_oversubscribe && concurrent_runs > 1 && hc > 0 &&
+      static_cast<long long>(concurrent_runs) * threads > static_cast<long long>(hc)) {
+    std::fprintf(stderr,
+                 "abp_cli: %d concurrent runs (min of --jobs %d and --replications %d) "
+                 "x --threads %d = %d workers oversubscribes this machine's %u hardware "
+                 "threads;\nlower --jobs or --threads, or pass --allow-oversubscribe "
+                 "(results are bit-identical either way, only slower)\n",
+                 concurrent_runs, jobs, replications, threads, concurrent_runs * threads,
+                 hc);
+    return 2;
+  }
 
   scenario::ScenarioConfig cfg = scenario::paper_scenario(pattern, controller, period);
   cfg.grid.rows = rows;
@@ -127,8 +174,40 @@ int main(int argc, char** argv) {
   cfg.micro.threads = threads;
   cfg.queue.threads = threads;
   if (duration > 0.0) cfg.duration_s = duration;
+
+  if (replications > 1) {
+    // Batch mode: per-seed replication fleet through the experiment runner.
+    const scenario::ReplicationSummary s =
+        scenario::run_replications(cfg, replications, jobs, allow_oversubscribe);
+    std::printf(
+        "pattern=%s controller=%s simulator=%s grid=%dx%d duration=%.0fs "
+        "replications=%d jobs=%d\n",
+        traffic::pattern_name(pattern).c_str(),
+        core::controller_type_name(controller).c_str(),
+        simulator == scenario::SimulatorKind::Micro ? "micro" : "queue", rows, cols,
+        cfg.duration_s, replications, jobs);
+    for (std::size_t i = 0; i < s.avg_queuing_times_s.size(); ++i) {
+      std::printf("seed=%llu avg_queuing_s=%.2f\n",
+                  static_cast<unsigned long long>(seed + i), s.avg_queuing_times_s[i]);
+    }
+    std::printf("mean_s=%.2f stddev_s=%.2f ci95_halfwidth_s=%.2f (Student-t, df=%d)\n",
+                s.mean_s, s.stddev_s, s.ci95_halfwidth_s, replications - 1);
+    if (!csv_prefix.empty()) {
+      std::ofstream out(csv_prefix + "_replications.csv");
+      CsvWriter w(out);
+      w.row({"seed", "avg_queuing_s"});
+      for (std::size_t i = 0; i < s.avg_queuing_times_s.size(); ++i) {
+        w.typed_row(static_cast<unsigned long long>(seed + i), s.avg_queuing_times_s[i]);
+      }
+      std::printf("csv written: %s_replications.csv\n", csv_prefix.c_str());
+    }
+    return 0;
+  }
+
   // Watch the north approach of the top-right junction (Fig. 5's setup uses
-  // the east approach; north is present in every grid size).
+  // the east approach; north is present in every grid size). Single-run
+  // mode only: the replication summary never reads the series, so batch
+  // runs skip the per-tick sampling and storage.
   cfg.watches.push_back({.row = 0, .col = cols - 1, .side = net::Side::North, .name = "watch"});
 
   const stats::RunResult r = scenario::run_scenario(cfg);

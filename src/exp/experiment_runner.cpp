@@ -1,0 +1,80 @@
+#include "src/exp/experiment_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "src/sim/simulator.hpp"
+
+namespace abp::exp {
+
+int max_safe_jobs(int tick_threads) noexcept {
+  const unsigned hc = std::thread::hardware_concurrency();
+  if (hc == 0) return 1;
+  return std::max(1, static_cast<int>(hc) / std::max(1, tick_threads));
+}
+
+std::vector<scenario::ScenarioConfig> replication_configs(
+    const scenario::ScenarioConfig& base, int replications) {
+  if (replications < 1) throw std::invalid_argument("need at least one replication");
+  std::vector<scenario::ScenarioConfig> configs(static_cast<std::size_t>(replications),
+                                                base);
+  for (int i = 0; i < replications; ++i) {
+    configs[static_cast<std::size_t>(i)].seed =
+        base.seed + static_cast<std::uint64_t>(i);
+  }
+  return configs;
+}
+
+ExperimentRunner::ExperimentRunner(BatchOptions options) : options_(options) {
+  if (options_.jobs < 1) throw std::invalid_argument("ExperimentRunner needs jobs >= 1");
+  pool_ = std::make_unique<ThreadPool>(options_.jobs);
+}
+
+std::vector<stats::RunResult> ExperimentRunner::run(
+    const std::vector<scenario::ScenarioConfig>& configs) {
+  // Effective concurrency: a batch narrower than `jobs` never has more than
+  // configs.size() runs in flight, so the guard judges what will actually
+  // run, not the configured ceiling.
+  const std::size_t participants =
+      std::min(configs.size(), static_cast<std::size_t>(options_.jobs));
+  if (!options_.allow_oversubscribe && participants > 1) {
+    int max_tick = 1;
+    for (const scenario::ScenarioConfig& cfg : configs) {
+      max_tick = std::max(max_tick, scenario::tick_threads(cfg));
+    }
+    const unsigned hc = std::thread::hardware_concurrency();
+    if (hc > 0 && static_cast<unsigned long long>(participants) *
+                          static_cast<unsigned long long>(max_tick) >
+                      static_cast<unsigned long long>(hc)) {
+      throw std::invalid_argument(
+          "ExperimentRunner: concurrent runs (" + std::to_string(participants) +
+          ") x tick threads (" + std::to_string(max_tick) +
+          ") oversubscribes hardware_concurrency (" + std::to_string(hc) +
+          "); lower jobs or threads, or set BatchOptions::allow_oversubscribe");
+    }
+  }
+
+  std::vector<stats::RunResult> results(configs.size());
+  if (configs.empty()) return results;
+
+  // Dynamic scheduling: each pool participant pulls the next unstarted run
+  // off an atomic cursor, so long runs don't serialize behind a static
+  // partition. Every run writes only its own results slot, and its output is
+  // a pure function of its config — scheduling order cannot show up in the
+  // results. parallel_for rethrows the first failed run's exception after
+  // the rest of the batch has drained.
+  std::atomic<std::size_t> next{0};
+  pool_->parallel_for(participants, [&](std::size_t, std::size_t) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= configs.size()) return;
+      results[i] = sim::make_simulator(configs[i])->finish(configs[i].duration_s);
+    }
+  });
+  return results;
+}
+
+}  // namespace abp::exp

@@ -1,0 +1,78 @@
+// Experiment layer: run-level parallelism over independent scenario runs.
+//
+// PR 1-3 made a single tick fast and thread-invariant; this layer makes
+// *experiments* fast. Paper benches and replication studies execute dozens of
+// independent ScenarioConfigs (replication sets, pattern x controller grids,
+// parameter sweeps) — each run is self-contained (make_simulator owns its
+// network, demand and controllers), so a batch parallelizes trivially across
+// runs with zero shared mutable state. ExperimentRunner drains a batch across
+// the shared ThreadPool (src/util/thread_pool.hpp) with `jobs` concurrent
+// runs and collects results in batch order.
+//
+// Determinism: a run's result depends only on its own ScenarioConfig (every
+// RNG stream is derived from config.seed), never on which worker executes it
+// or on how many run concurrently — so a batch is bit-identical to a serial
+// run_scenario loop over the same configs at every jobs count. The
+// `invariance`-labelled experiment_runner_test pins this at jobs in {1,2,8}.
+//
+// Oversubscription guard: run-level `jobs` multiplies with each config's
+// tick-level `threads` (the backend's road-partitioned sweep). jobs x
+// tick_threads beyond hardware_concurrency is almost never intended — it
+// only adds contention — so run() rejects it unless
+// BatchOptions::allow_oversubscribe is set. See docs/PERFORMANCE.md,
+// "Run-level vs tick-level parallelism".
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/scenario/scenario_config.hpp"
+#include "src/stats/run_result.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace abp::exp {
+
+struct BatchOptions {
+  // Concurrent runs (>= 1, counting the calling thread). 1 = serial.
+  int jobs = 1;
+  // Permit jobs x tick_threads to exceed hardware_concurrency. Tests use
+  // this to exercise jobs counts above the core count; measurement runs
+  // should leave it off and size jobs with max_safe_jobs().
+  bool allow_oversubscribe = false;
+};
+
+// Largest jobs count that keeps jobs x tick_threads within the machine's
+// hardware_concurrency, never below 1. Returns 1 when the hardware
+// concurrency is unknown (hardware_concurrency() == 0).
+[[nodiscard]] int max_safe_jobs(int tick_threads = 1) noexcept;
+
+// The deterministic seed-derivation scheme for replication sets: `n` copies
+// of `base` with seeds base.seed + 0, base.seed + 1, ..., base.seed + n - 1.
+// Runs are identified by their seed, not by execution order, so per-seed
+// result streams stay comparable across jobs counts, machines and the
+// historical serial run_replications loop.
+[[nodiscard]] std::vector<scenario::ScenarioConfig> replication_configs(
+    const scenario::ScenarioConfig& base, int replications);
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(BatchOptions options = {});
+
+  [[nodiscard]] const BatchOptions& options() const noexcept { return options_; }
+
+  // Executes every config (construct simulator, run to config.duration_s,
+  // finish) with up to `jobs` runs in flight, and returns the results in
+  // batch order: results[i] belongs to configs[i] regardless of completion
+  // order. Throws std::invalid_argument if the batch would oversubscribe
+  // (see BatchOptions::allow_oversubscribe); rethrows the first exception
+  // any run raised after the remaining runs have drained.
+  [[nodiscard]] std::vector<stats::RunResult> run(
+      const std::vector<scenario::ScenarioConfig>& configs);
+
+ private:
+  BatchOptions options_;
+  // Workers are spawned once per runner and reused across batches.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace abp::exp

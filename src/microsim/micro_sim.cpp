@@ -105,6 +105,12 @@ int MicroSim::lane_count(LinkId link) const {
 
 int MicroSim::road_occupancy(RoadId road) const { return roads_[road.index()].occupancy; }
 
+int MicroSim::queued_on_road(RoadId road) const {
+  int total = 0;
+  for (LinkId link : net_.links_from(road)) total += lane_count(link);
+  return total;
+}
+
 net::PhaseIndex MicroSim::displayed_phase(IntersectionId node) const {
   return displayed_[node.index()];
 }

@@ -92,6 +92,9 @@ class MicroSim {
   [[nodiscard]] int lane_count(LinkId link) const;
   // Vehicles on the road (all lanes) plus inbound junction reservations.
   [[nodiscard]] int road_occupancy(RoadId road) const;
+  // Stop-line queue total of a road: lane_count over all its movements (the
+  // microscopic q_i of Eq. 1; same contract as QueueSim::queued_on_road).
+  [[nodiscard]] int queued_on_road(RoadId road) const;
   [[nodiscard]] net::PhaseIndex displayed_phase(IntersectionId node) const;
   [[nodiscard]] int vehicles_in_network() const;
   // Positions (road-start-relative) of vehicles on a lane, head first.

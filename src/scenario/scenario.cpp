@@ -1,12 +1,13 @@
 #include "src/scenario/scenario.hpp"
 
-#include <stdexcept>
-
 #include <cmath>
 
-#include "src/microsim/micro_sim.hpp"
+#include <stdexcept>
+
+#include "src/exp/experiment_runner.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/stats/student_t.hpp"
 #include "src/util/accumulator.hpp"
-#include "src/net/validation.hpp"
 
 namespace abp::scenario {
 
@@ -29,49 +30,30 @@ ScenarioConfig paper_scenario(traffic::PatternKind pattern, core::ControllerType
 }
 
 stats::RunResult run_scenario(const ScenarioConfig& config) {
-  net::Network network = net::build_grid(config.grid);
-  net::validate_or_throw(network);
-
-  traffic::DemandGenerator demand(network, config.demand, config.seed);
-  std::vector<core::ControllerPtr> controllers =
-      core::make_controllers(config.controller, network);
-
-  auto resolve_watch = [&](const WatchSpec& w) {
-    const auto node = network.at_grid(w.row, w.col);
-    if (!node) throw std::invalid_argument("watch references a junction outside the grid");
-    const RoadId road = network.intersection(*node).incoming_on(w.side);
-    if (!road.valid()) throw std::invalid_argument("watched junction has no such approach");
-    return road;
-  };
-
-  if (config.simulator == SimulatorKind::Micro) {
-    microsim::MicroSim sim(network, config.micro, std::move(controllers), demand,
-                           config.seed + 0x5157u);
-    for (const WatchSpec& w : config.watches) sim.watch_road(resolve_watch(w), w.name);
-    return sim.finish(config.duration_s);
-  }
-  queuesim::QueueSim sim(network, config.queue, std::move(controllers), demand);
-  for (const WatchSpec& w : config.watches) sim.watch_road(resolve_watch(w), w.name);
-  return sim.finish(config.duration_s);
+  return sim::make_simulator(config)->finish(config.duration_s);
 }
 
-ReplicationSummary run_replications(ScenarioConfig config, int replications) {
+ReplicationSummary run_replications(const ScenarioConfig& config, int replications,
+                                    int jobs, bool allow_oversubscribe) {
   if (replications < 1) {
     throw std::invalid_argument("need at least one replication");
   }
+  exp::ExperimentRunner runner(
+      {.jobs = jobs, .allow_oversubscribe = allow_oversubscribe});
+  const std::vector<stats::RunResult> runs =
+      runner.run(exp::replication_configs(config, replications));
+
   ReplicationSummary summary;
   Accumulator acc;
-  const std::uint64_t base_seed = config.seed;
-  for (int i = 0; i < replications; ++i) {
-    config.seed = base_seed + static_cast<std::uint64_t>(i);
-    const stats::RunResult r = run_scenario(config);
+  for (const stats::RunResult& r : runs) {
     summary.avg_queuing_times_s.push_back(r.metrics.average_queuing_time_s());
     acc.add(summary.avg_queuing_times_s.back());
   }
   summary.mean_s = acc.mean();
   summary.stddev_s = acc.stddev();
   summary.ci95_halfwidth_s =
-      replications > 1 ? 1.96 * acc.stddev() / std::sqrt(static_cast<double>(replications))
+      replications > 1 ? stats::student_t_quantile(0.975, replications - 1) *
+                             acc.stddev() / std::sqrt(static_cast<double>(replications))
                        : 0.0;
   return summary;
 }

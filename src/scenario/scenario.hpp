@@ -1,54 +1,22 @@
 // Scenario assembly: one call from "paper experiment description" to results.
 //
-// A ScenarioConfig bundles the network (grid), demand (pattern), controller
-// policy and simulator choice. run_scenario() builds everything with a fixed
-// seed, runs to the configured duration and returns the metrics/traces/series
-// bundle. paper_scenario() fills in the paper's evaluation defaults: 3x3
-// grid, W=120, mu=1, amber 4 s, alpha=-1, beta=-2, g* per Eq. (12).
+// ScenarioConfig (src/scenario/scenario_config.hpp) bundles the network
+// (grid), demand (pattern), controller policy and simulator choice.
+// run_scenario() hands the config to the unified simulator factory
+// (abp::sim::make_simulator), runs to the configured duration and returns the
+// metrics/traces/series bundle. paper_scenario() fills in the paper's
+// evaluation defaults: 3x3 grid, W=120, mu=1, amber 4 s, alpha=-1, beta=-2,
+// g* per Eq. (12). Batches of runs (replication sets, grids, sweeps) go
+// through abp::exp::ExperimentRunner (src/exp/experiment_runner.hpp), which
+// run_replications() wraps.
 #pragma once
 
-#include <string>
 #include <vector>
 
-#include "src/core/factory.hpp"
-#include "src/microsim/params.hpp"
-#include "src/net/grid.hpp"
-#include "src/queuesim/queue_sim.hpp"
+#include "src/scenario/scenario_config.hpp"
 #include "src/stats/run_result.hpp"
-#include "src/traffic/demand.hpp"
 
 namespace abp::scenario {
-
-enum class SimulatorKind {
-  // Microscopic car-following simulator (the SUMO substitute) — used for the
-  // headline experiments.
-  Micro,
-  // Discrete-time queueing-network model of Section II — used for property
-  // tests and fast model-level cross-checks.
-  Queue,
-};
-
-// Requests a queue-length time series on the incoming road arriving at grid
-// junction (row, col) from boundary side `side` (Fig. 5 watches the road from
-// the East at the top-right junction).
-struct WatchSpec {
-  int row = 0;
-  int col = 0;
-  net::Side side = net::Side::East;
-  std::string name;
-};
-
-struct ScenarioConfig {
-  net::GridConfig grid;
-  traffic::DemandConfig demand;
-  core::ControllerSpec controller;
-  SimulatorKind simulator = SimulatorKind::Micro;
-  double duration_s = 3600.0;
-  std::uint64_t seed = 42;
-  microsim::MicroSimConfig micro;
-  queuesim::QueueSimConfig queue;
-  std::vector<WatchSpec> watches;
-};
 
 // The paper's evaluation defaults for a given pattern and policy.
 // `fixed_slot_period_s` configures CAP-BP / ORIG-BP when selected.
@@ -62,18 +30,26 @@ struct ScenarioConfig {
 
 // Statistical summary of one scenario across independent seeds.
 struct ReplicationSummary {
-  // Per-run network-wide average queuing times, in seed order.
+  // Per-run network-wide average queuing times, in seed order (the per-seed
+  // result stream; seed i of the summary is config.seed + i).
   std::vector<double> avg_queuing_times_s;
   double mean_s = 0.0;
   double stddev_s = 0.0;
-  // Half-width of the 95% confidence interval on the mean (normal
-  // approximation; replication counts here are small but i.i.d.).
+  // Half-width of the 95% confidence interval on the mean, using the
+  // Student-t quantile with replications - 1 degrees of freedom (replication
+  // counts are small; the normal 1.96 would be anti-conservative). 0 when
+  // only one replication ran.
   double ci95_halfwidth_s = 0.0;
 };
 
 // Runs `replications` copies of the scenario with seeds config.seed,
-// config.seed+1, ... and summarizes the headline metric. Requires
-// replications >= 1.
-[[nodiscard]] ReplicationSummary run_replications(ScenarioConfig config, int replications);
+// config.seed+1, ... (exp::replication_configs' derivation scheme) and
+// summarizes the headline metric. Requires replications >= 1. `jobs` runs
+// that many replications concurrently through exp::ExperimentRunner —
+// results are bit-identical at every jobs count; jobs x tick threads beyond
+// hardware_concurrency is rejected unless `allow_oversubscribe`.
+[[nodiscard]] ReplicationSummary run_replications(const ScenarioConfig& config,
+                                                  int replications, int jobs = 1,
+                                                  bool allow_oversubscribe = false);
 
 }  // namespace abp::scenario

@@ -1,0 +1,65 @@
+// Scenario description: everything needed to construct and run one simulation.
+//
+// A ScenarioConfig bundles the network (grid), demand (pattern), controller
+// policy and simulator choice. It is a pure value type — the construction
+// machinery lives behind abp::sim::make_simulator() (src/sim/simulator.hpp),
+// and the one-call experiment entry points (run_scenario, run_replications,
+// paper_scenario) in src/scenario/scenario.hpp. Split out of scenario.hpp so
+// the simulator factory and the experiment layer (src/exp) can consume the
+// config without a circular dependency on the scenario API.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/factory.hpp"
+#include "src/microsim/params.hpp"
+#include "src/net/grid.hpp"
+#include "src/queuesim/queue_sim.hpp"
+#include "src/traffic/demand.hpp"
+
+namespace abp::scenario {
+
+enum class SimulatorKind {
+  // Microscopic car-following simulator (the SUMO substitute) — used for the
+  // headline experiments.
+  Micro,
+  // Discrete-time queueing-network model of Section II — used for property
+  // tests and fast model-level cross-checks.
+  Queue,
+};
+
+// Requests a queue-length time series on the incoming road arriving at grid
+// junction (row, col) from boundary side `side` (Fig. 5 watches the road from
+// the East at the top-right junction).
+struct WatchSpec {
+  int row = 0;
+  int col = 0;
+  net::Side side = net::Side::East;
+  std::string name;
+};
+
+struct ScenarioConfig {
+  net::GridConfig grid;
+  traffic::DemandConfig demand;
+  core::ControllerSpec controller;
+  SimulatorKind simulator = SimulatorKind::Micro;
+  double duration_s = 3600.0;
+  std::uint64_t seed = 42;
+  microsim::MicroSimConfig micro;
+  queuesim::QueueSimConfig queue;
+  std::vector<WatchSpec> watches;
+};
+
+// Tick-level parallelism the config's *selected* backend will use: the
+// road-partitioned sweep width of the simulator that actually runs. The
+// experiment layer multiplies this by its run-level `jobs` when checking for
+// oversubscription (docs/PERFORMANCE.md, "Run-level vs tick-level
+// parallelism").
+[[nodiscard]] inline int tick_threads(const ScenarioConfig& config) noexcept {
+  return config.simulator == SimulatorKind::Micro ? config.micro.threads
+                                                  : config.queue.threads;
+}
+
+}  // namespace abp::scenario

@@ -1,0 +1,108 @@
+#include "src/sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/core/factory.hpp"
+#include "src/microsim/micro_sim.hpp"
+#include "src/net/grid.hpp"
+#include "src/net/validation.hpp"
+#include "src/queuesim/queue_sim.hpp"
+
+namespace abp::sim {
+namespace {
+
+// Builds and validates the grid before any backend state references it.
+net::Network build_validated(const net::GridConfig& grid) {
+  net::Network network = net::build_grid(grid);
+  net::validate_or_throw(network);
+  return network;
+}
+
+RoadId resolve_watch(const net::Network& network, const scenario::WatchSpec& w) {
+  const auto node = network.at_grid(w.row, w.col);
+  if (!node) throw std::invalid_argument("watch references a junction outside the grid");
+  const RoadId road = network.intersection(*node).incoming_on(w.side);
+  if (!road.valid()) throw std::invalid_argument("watched junction has no such approach");
+  return road;
+}
+
+// Per-backend construction (the only thing the two backends don't share):
+// returned as a prvalue so guaranteed copy elision constructs the simulator
+// in place — the backends hold reference members and are not movable.
+template <typename Backend>
+Backend construct_backend(const scenario::ScenarioConfig& config,
+                          const net::Network& network, traffic::DemandGenerator& demand);
+
+template <>
+microsim::MicroSim construct_backend<microsim::MicroSim>(
+    const scenario::ScenarioConfig& config, const net::Network& network,
+    traffic::DemandGenerator& demand) {
+  return microsim::MicroSim(network, config.micro,
+                            core::make_controllers(config.controller, network), demand,
+                            config.seed + 0x5157u);
+}
+
+template <>
+queuesim::QueueSim construct_backend<queuesim::QueueSim>(
+    const scenario::ScenarioConfig& config, const net::Network& network,
+    traffic::DemandGenerator& demand) {
+  return queuesim::QueueSim(network, config.queue,
+                            core::make_controllers(config.controller, network), demand);
+}
+
+// Owns the full object graph of one run: network, demand, backend. Members
+// are declared in dependency order — the backend holds references into the
+// network and the demand generator, so it is constructed last and destroyed
+// first. Both backends expose the same member names for the interface
+// surface, so one adapter covers them.
+template <typename Backend>
+class BackendSimulator final : public Simulator {
+ public:
+  explicit BackendSimulator(const scenario::ScenarioConfig& config)
+      : network_(build_validated(config.grid)),
+        demand_(network_, config.demand, config.seed),
+        sim_(construct_backend<Backend>(config, network_, demand_)) {}
+
+  void watch_road(RoadId road, std::string series_name) override {
+    sim_.watch_road(road, std::move(series_name));
+  }
+  stats::RunResult& run_until(double until_s) override { return sim_.run_until(until_s); }
+  stats::RunResult finish(double duration_s) override { return sim_.finish(duration_s); }
+  [[nodiscard]] double now() const noexcept override { return sim_.now(); }
+  [[nodiscard]] int vehicles_in_network() const override {
+    return sim_.vehicles_in_network();
+  }
+  [[nodiscard]] int road_occupancy(RoadId road) const override {
+    return sim_.road_occupancy(road);
+  }
+  [[nodiscard]] int queued_on_road(RoadId road) const override {
+    return sim_.queued_on_road(road);
+  }
+  [[nodiscard]] net::PhaseIndex displayed_phase(IntersectionId node) const override {
+    return sim_.displayed_phase(node);
+  }
+  [[nodiscard]] const net::Network& network() const noexcept override { return network_; }
+
+ private:
+  net::Network network_;
+  traffic::DemandGenerator demand_;
+  Backend sim_;
+};
+
+}  // namespace
+
+std::unique_ptr<Simulator> make_simulator(const scenario::ScenarioConfig& config) {
+  std::unique_ptr<Simulator> sim;
+  if (config.simulator == scenario::SimulatorKind::Micro) {
+    sim = std::make_unique<BackendSimulator<microsim::MicroSim>>(config);
+  } else {
+    sim = std::make_unique<BackendSimulator<queuesim::QueueSim>>(config);
+  }
+  for (const scenario::WatchSpec& w : config.watches) {
+    sim->watch_road(resolve_watch(sim->network(), w), w.name);
+  }
+  return sim;
+}
+
+}  // namespace abp::sim

@@ -22,6 +22,8 @@
 #include "src/microsim/micro_sim.hpp"
 #include "src/net/grid.hpp"
 #include "src/queuesim/queue_sim.hpp"
+#include "src/scenario/scenario.hpp"
+#include "src/sim/simulator.hpp"
 #include "src/traffic/demand.hpp"
 
 namespace abp {
@@ -29,17 +31,9 @@ namespace {
 
 constexpr std::uint64_t kSeed = 99;
 
-// Stop-line queue total for a road, per backend: the queue sim tracks it
-// directly; the micro sim's is the vehicles on the road's dedicated lanes.
-int road_queue_total(const queuesim::QueueSim& sim, const net::Network&, RoadId road) {
-  return sim.queued_on_road(road);
-}
-int road_queue_total(const microsim::MicroSim& sim, const net::Network& net, RoadId road) {
-  int total = 0;
-  for (LinkId lid : net.links_from(road)) total += sim.lane_count(lid);
-  return total;
-}
-
+// Both backends (and the unified sim::Simulator interface) expose the same
+// introspection surface — queued_on_road is the stop-line queue total, q_i
+// of Eq. 1 — so one template drives all three.
 template <typename Sim>
 void check_invariants_every_tick(Sim& sim, const net::Network& net, double duration_s) {
   for (int t = 1; t <= static_cast<int>(duration_s); ++t) {
@@ -52,7 +46,7 @@ void check_invariants_every_tick(Sim& sim, const net::Network& net, double durat
       const int occ = sim.road_occupancy(road.id);
       ASSERT_GE(occ, 0) << road.name << " t=" << t;
       ASSERT_LE(occ, road.capacity) << road.name << " t=" << t;
-      const int queued = road_queue_total(sim, net, road.id);
+      const int queued = sim.queued_on_road(road.id);
       ASSERT_GE(queued, 0) << road.name << " t=" << t;
       ASSERT_LE(queued, occ) << road.name << " t=" << t;
     }
@@ -112,6 +106,26 @@ TEST(CrossSimInvariants, CapacityBoundHoldsUnderSaturation) {
   dcfg.pattern = traffic::PatternKind::I;
   dcfg.interarrival_scale = 0.25;
   run_both_backends(net, spec, dcfg, 300.0);
+}
+
+TEST(CrossSimInvariants, UnifiedInterfaceEnforcesSameInvariantsOnBothBackends) {
+  // The same per-tick checks driven purely through the abp::sim::Simulator
+  // interface and its cross-backend introspection hooks — what the experiment
+  // layer and any future surrogate-model pipeline will see. A backend whose
+  // hook wiring drifts from its internals fails here even if the direct
+  // per-backend suites above still pass.
+  for (const scenario::SimulatorKind kind :
+       {scenario::SimulatorKind::Queue, scenario::SimulatorKind::Micro}) {
+    SCOPED_TRACE(kind == scenario::SimulatorKind::Queue ? "queue" : "micro");
+    scenario::ScenarioConfig cfg = scenario::paper_scenario(
+        traffic::PatternKind::II, core::ControllerType::UtilBp);
+    cfg.grid.rows = 2;
+    cfg.grid.cols = 2;
+    cfg.seed = kSeed;
+    cfg.simulator = kind;
+    const std::unique_ptr<sim::Simulator> simulator = sim::make_simulator(cfg);
+    check_invariants_every_tick(*simulator, simulator->network(), 400.0);
+  }
 }
 
 TEST(CrossSimInvariants, QueueSimInvariantsHoldThreaded) {

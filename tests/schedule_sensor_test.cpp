@@ -7,6 +7,7 @@
 #include "src/core/sensor.hpp"
 #include "src/net/grid.hpp"
 #include "src/scenario/scenario.hpp"
+#include "src/stats/student_t.hpp"
 #include "src/traffic/demand.hpp"
 
 namespace abp {
@@ -190,7 +191,11 @@ TEST(Replications, SummaryStatisticsAreConsistent) {
   mean /= 4.0;
   EXPECT_NEAR(s.mean_s, mean, 1e-9);
   EXPECT_GT(s.stddev_s, 0.0);  // different seeds produce different runs
-  EXPECT_NEAR(s.ci95_halfwidth_s, 1.96 * s.stddev_s / 2.0, 1e-9);
+  // Student-t half-width (df = 3), not the anti-conservative normal 1.96:
+  // t_{0.975, 3} = 3.1824 stretches the interval by ~62% at n = 4.
+  EXPECT_NEAR(s.ci95_halfwidth_s,
+              stats::student_t_quantile(0.975, 3) * s.stddev_s / 2.0, 1e-9);
+  EXPECT_NEAR(s.ci95_halfwidth_s, 3.182446 * s.stddev_s / 2.0, 1e-3 * s.stddev_s);
 }
 
 TEST(Replications, SingleReplicationHasNoInterval) {

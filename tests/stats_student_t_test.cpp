@@ -1,0 +1,71 @@
+// Student-t quantile pins: the CI machinery of run_replications must produce
+// the textbook two-sided 95% critical values, not the normal 1.96.
+#include "src/stats/student_t.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace abp::stats {
+namespace {
+
+TEST(StudentT, PinsKnownTwoSided95CriticalValues) {
+  // t_{0.975, df} from standard tables (Abramowitz & Stegun Table 26.10).
+  const struct {
+    int df;
+    double t;
+  } pins[] = {
+      {1, 12.7062}, {2, 4.3027},  {3, 3.1824},  {4, 2.7764},  {5, 2.5706},
+      {10, 2.2281}, {20, 2.0860}, {30, 2.0423}, {120, 1.9799},
+  };
+  for (const auto& pin : pins) {
+    EXPECT_NEAR(student_t_quantile(0.975, pin.df), pin.t, 1e-3) << "df=" << pin.df;
+  }
+  // Heavy tails at small df: the normal approximation is badly anti-
+  // conservative exactly where replication counts live.
+  EXPECT_GT(student_t_quantile(0.975, 4), 1.96);
+  // Convergence to the normal quantile for large df.
+  EXPECT_NEAR(student_t_quantile(0.975, 100000), 1.959964, 1e-3);
+}
+
+TEST(StudentT, QuantileIsSymmetricAndCentered) {
+  for (int df : {1, 3, 7, 25}) {
+    EXPECT_DOUBLE_EQ(student_t_quantile(0.5, df), 0.0) << df;
+    EXPECT_NEAR(student_t_quantile(0.025, df), -student_t_quantile(0.975, df), 1e-9)
+        << df;
+  }
+}
+
+TEST(StudentT, CdfQuantileRoundTrip) {
+  for (int df : {1, 2, 5, 17, 60}) {
+    for (double p : {0.01, 0.2, 0.5, 0.9, 0.975, 0.999}) {
+      EXPECT_NEAR(student_t_cdf(student_t_quantile(p, df), df), p, 1e-9)
+          << "df=" << df << " p=" << p;
+    }
+  }
+  EXPECT_DOUBLE_EQ(student_t_cdf(0.0, 9), 0.5);
+  EXPECT_NEAR(student_t_cdf(-2.0, 9), 1.0 - student_t_cdf(2.0, 9), 1e-12);
+}
+
+TEST(StudentT, IncompleteBetaBasics) {
+  // I_x(1, 1) is the identity on [0, 1].
+  for (double x : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_NEAR(regularized_incomplete_beta(1.0, 1.0, x), x, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(3.0, 2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(3.0, 2.0, 1.0), 1.0);
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  EXPECT_NEAR(regularized_incomplete_beta(2.5, 4.0, 0.3),
+              1.0 - regularized_incomplete_beta(4.0, 2.5, 0.7), 1e-12);
+}
+
+TEST(StudentT, RejectsInvalidArguments) {
+  EXPECT_THROW((void)student_t_quantile(0.975, 0), std::invalid_argument);
+  EXPECT_THROW((void)student_t_quantile(0.0, 5), std::invalid_argument);
+  EXPECT_THROW((void)student_t_quantile(1.0, 5), std::invalid_argument);
+  EXPECT_THROW((void)student_t_cdf(1.0, 0), std::invalid_argument);
+  EXPECT_THROW((void)regularized_incomplete_beta(0.0, 1.0, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace abp::stats
