@@ -57,6 +57,14 @@ struct Row {
   [[nodiscard]] double vehicle_steps_per_sec() const {
     return wall_seconds > 0.0 ? static_cast<double>(vehicle_steps) / wall_seconds : 0.0;
   }
+  // Pure derived inverse of vehicle_steps_per_sec, in ns: the serial-floor
+  // unit the lane-kernel work tracks (see docs/PERFORMANCE.md and
+  // bench_krauss_kernel), reported per row so the trajectory is readable
+  // straight off BENCH_hotpath.json.
+  [[nodiscard]] double ns_per_vehicle_step() const {
+    return vehicle_steps > 0 ? wall_seconds * 1e9 / static_cast<double>(vehicle_steps)
+                             : 0.0;
+  }
 };
 
 // Samples vehicles_in_network() once per simulated second and scales by the
@@ -161,7 +169,8 @@ void write_json(const std::string& path, const std::vector<Row>& rows, double du
         << "\", \"threads\": " << r.threads << ", \"sim_seconds\": " << r.sim_seconds
         << ", \"vehicle_steps\": " << r.vehicle_steps
         << ", \"completed\": " << r.completed << ", \"wall_seconds\": " << r.wall_seconds
-        << ", \"vehicle_steps_per_sec\": " << r.vehicle_steps_per_sec() << "}"
+        << ", \"vehicle_steps_per_sec\": " << r.vehicle_steps_per_sec()
+        << ", \"ns_per_vehicle_step\": " << r.ns_per_vehicle_step() << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -184,21 +193,22 @@ int main(int argc, char** argv) {
   print_header("Hot-path throughput (vehicle-steps per wall-clock second)");
   std::printf("compiler: %s, hardware threads: %u\n", kCompiler,
               std::thread::hardware_concurrency());
-  std::printf("%-6s %-11s %8s %14s %12s %10s %16s\n", "grid", "sim", "threads",
-              "vehicle-steps", "completed", "wall [s]", "veh-steps/s");
+  std::printf("%-6s %-11s %8s %14s %12s %10s %16s %14s\n", "grid", "sim", "threads",
+              "vehicle-steps", "completed", "wall [s]", "veh-steps/s", "ns/veh-step");
 
   std::vector<Row> rows;
   std::ofstream csv = open_csv("hotpath_throughput");
   csv << "grid,sim,threads,sim_seconds,vehicle_steps,completed,wall_seconds,"
-         "vehicle_steps_per_sec\n";
+         "vehicle_steps_per_sec,ns_per_vehicle_step\n";
   auto emit = [&](Row row) {
-    std::printf("%dx%-4d %-11s %8d %14lld %12zu %10.2f %16.0f\n", row.grid, row.grid,
-                row.sim.c_str(), row.threads, row.vehicle_steps, row.completed,
-                row.wall_seconds, row.vehicle_steps_per_sec());
+    std::printf("%dx%-4d %-11s %8d %14lld %12zu %10.2f %16.0f %14.2f\n", row.grid,
+                row.grid, row.sim.c_str(), row.threads, row.vehicle_steps, row.completed,
+                row.wall_seconds, row.vehicle_steps_per_sec(), row.ns_per_vehicle_step());
     std::fflush(stdout);
     csv << row.grid << "x" << row.grid << "," << row.sim << "," << row.threads << ","
         << row.sim_seconds << "," << row.vehicle_steps << "," << row.completed << ","
-        << row.wall_seconds << "," << row.vehicle_steps_per_sec() << "\n";
+        << row.wall_seconds << "," << row.vehicle_steps_per_sec() << ","
+        << row.ns_per_vehicle_step() << "\n";
     rows.push_back(std::move(row));
   };
   for (int n : grids) {

@@ -5,14 +5,9 @@
 #include <stdexcept>
 
 #include "src/microsim/krauss.hpp"
+#include "src/microsim/lane_kernel.hpp"
 
 namespace abp::microsim {
-namespace {
-
-// Gap value that behaves as "no obstacle ahead".
-constexpr double kFreeGap = 1e9;
-
-}  // namespace
 
 MicroSim::MicroSim(const net::Network& network, MicroSimConfig config,
                    std::vector<core::ControllerPtr> controllers,
@@ -80,6 +75,7 @@ void MicroSim::build_runtime() {
   road_queued_approach_.assign(net_.roads().size(), 0);
   road_queued_congestion_.assign(net_.roads().size(), 0);
   link_queued_approach_.assign(net_.links().size(), 0);
+  sweep_scratch_.resize(static_cast<std::size_t>(config_.threads));
   std::size_t max_lanes = 1;
   for (const RoadRt& rt : roads_) max_lanes = std::max(max_lanes, rt.lanes.size());
   lane_blocked_.assign(max_lanes, 0);
@@ -413,124 +409,94 @@ void MicroSim::service_junctions() {
   }
 }
 
-void MicroSim::sweep_lane(const net::Road& road, RoadRt& rt, Lane& lane, StreamRng& rng) {
+void MicroSim::sweep_lane(const net::Road& road, RoadRt& rt, Lane& lane, StreamRng& rng,
+                          LaneKernelScratch& scratch) {
   const std::size_t n = lane.vehicles.size();
   if (n == 0) return;
 
-  // Hot loop, two passes over the lane's contiguous SoA arrays. All state
-  // touched here is owned by this road's work unit: the lane order, the
-  // lane-local kinematic arrays, the road's memo-table rows, and the road's
-  // own dawdle stream — nothing shared, so the sweep parallelizes without
-  // locks and the draw sequence is independent of the thread schedule.
+  // Hot path. All state touched here is owned by this road's work unit: the
+  // lane order, the lane-local kinematic arrays, the road's memo-table rows,
+  // and the road's own dawdle stream — nothing shared, so the sweep
+  // parallelizes without locks and the draw sequence is independent of the
+  // thread schedule.
   const double dt = config_.dt_s;
   // Local copy of the car-following parameters: every store into the lane's
   // double arrays could alias a double field reached through a reference
   // (same TBAA class), which would force the compiler to reload them each
   // iteration; locals provably cannot alias and stay in registers.
   const VehicleParams vp = config_.vehicle;
-  const double vehicle_length = vp.length_m;
-  const double min_gap = vp.min_gap_m;
-  const double speed_limit = road.speed_limit_mps;
   const double road_length = road.length_m;
-  const bool dawdling = vp.sigma > 0.0;
   const bool is_exit = road.is_exit();
+  double* pos = &lane.pos[0];
+  double* speed = &lane.speed[0];
 
-  // Pass 1 — synchronous Krauss speeds: every follower reacts to its
-  // leader's *previous-step* kinematics, the update rule of Krauss (1998)
-  // (and SUMO): v_safe(t+dt) is computed from g(t) and v_leader(t). Besides
-  // model fidelity, synchrony makes the per-vehicle computations within a
-  // lane independent, so the expensive parts (safe-speed radical, dawdle
-  // draw) pipeline across iterations instead of serializing on the leader's
-  // fresh state. Iterating tail-first lets the new speed overwrite
-  // lane.speed[i] in place while follower i+1 has already consumed the old
-  // value and leader i-1 has not yet been touched.
-  for (std::size_t i = n; i-- > 0;) {
-    const double pos = lane.pos[i];
-    const double speed = lane.speed[i];
-    double gap;
-    double lead_v;
-    if (i > 0) {
-      gap = lane.pos[i - 1] - vehicle_length - pos - min_gap;
-      lead_v = lane.speed[i - 1];
-    } else if (is_exit) {
-      gap = kFreeGap;  // drives off the far end
-      lead_v = 0.0;
-    } else {
-      // Approach the stop line as a standing obstacle; service happens via
-      // the junction phase once within the zone.
-      gap = road_length - pos;
-      lead_v = 0.0;
-    }
-    const double dawdle = dawdling ? rng.uniform01() : 0.0;
-    lane.speed[i] = next_speed_fast(speed, gap, lead_v, speed_limit, vp, dt, dawdle);
+  // Kinematics: the vectorized kernel passes of lane_kernel.hpp — bulk
+  // dawdle fill (one counter-stream batch, identical stream accounting to n
+  // scalar draws), gap stencil, branchless synchronous-Krauss speed pass,
+  // fused integrate + stop-line clamp, and the rare sequential overlap
+  // fallback. Used at every occupancy: the branchless form also beats the
+  // scalar loop on short lanes in the real sweep, where varied lane states
+  // defeat the branch predictor (see lane_kernel.hpp on why the microbench
+  // suggests otherwise). Bit-identical to the scalar reference by
+  // construction (element-wise FP in array order is the same arithmetic in
+  // the same order); tests/microsim_krauss_test.cpp pins it lane-for-lane.
+  lane_update_vectorized(pos, speed, n, road.speed_limit_mps, road_length, is_exit, vp,
+                         dt, vp.sigma > 0.0 ? &rng : nullptr, scratch);
+
+  // Accounting tail — completion staging, waiting time, queued-count memos —
+  // on the final speeds/positions. The integer memo counts commute, so
+  // splitting them out of the kinematic loop cannot change them; waiting-time
+  // accumulation stays element-wise (+= dt or += 0.0, and a waiting total is
+  // never -0.0, so the no-op add is the bitwise identity).
+  std::size_t begin = 0;
+  if (is_exit && pos[0] >= road_length) {
+    // Stage the completion: metric accumulation is floating-point
+    // order-sensitive and mutates shared counters, so it runs sequentially
+    // in apply_completions(), in exit-road order. Write the lane-carried
+    // waiting time back now; the pop at the end of the sweep discards it.
+    // A completed vehicle is gone by decision time and must not count in
+    // the waiting/memo passes below. At most the head can cross per tick.
+    rt.completed = lane.vehicles.front();
+    veh_waiting_[rt.completed.index()] = lane.waiting[0];
+    begin = 1;
   }
-
-  // Pass 2 — positions, overlap guards and per-vehicle accounting, head
-  // first. The guard clamps against the leader's *new* position (a vehicle
-  // may never overlap where its leader actually is), which is a sequential
-  // dependency — but a cheap one: adds and compares only.
-  const bool count_queues = memo_pending_;
-  const bool dedicated = lane.link.has_value();
-  const LinkId lane_link = dedicated ? *lane.link : LinkId{};
-  const std::size_t road_index = road.id.index();
+  double* waiting = &lane.waiting[0];
   const double waiting_threshold = config_.waiting_speed_threshold_mps;
-  const double approach_threshold = config_.approach_queue_threshold_mps;
-  const double congestion_threshold = config_.congestion_queue_threshold_mps;
-  bool head_completed = false;
-  double leader_pos = 0.0;
-  double leader_speed = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    double speed = lane.speed[i];
-    double pos = lane.pos[i] + speed * dt;
-    if (i > 0) {
-      // Numerical guard: never overlap the leader.
-      const double limit = leader_pos - vehicle_length - 0.1;
-      if (pos > limit) {
-        pos = std::max(0.0, limit);
-        speed = std::min(speed, leader_speed);
-        lane.speed[i] = speed;
-      }
-    } else if (!is_exit && pos > road_length - 0.2) {
-      pos = road_length - 0.2;  // hold at the stop line
-      speed = 0.0;
-      lane.speed[i] = speed;
+  for (std::size_t i = begin; i < n; ++i) {
+    // Waiting-time accumulation, folded into the lane update so the per-tick
+    // cost is O(active vehicles), never O(vehicles ever spawned), and
+    // contiguous: the scattered per-vehicle row is only touched when the
+    // vehicle leaves the lane.
+    waiting[i] += speed[i] < waiting_threshold ? dt : 0.0;
+  }
+  if (memo_pending_) {
+    // Queued-count memo for next step's controller decisions.
+    const double approach_threshold = config_.approach_queue_threshold_mps;
+    const double congestion_threshold = config_.congestion_queue_threshold_mps;
+    int approach = 0;
+    int congestion = 0;
+    for (std::size_t i = begin; i < n; ++i) {
+      approach += speed[i] < approach_threshold ? 1 : 0;
+      congestion += speed[i] < congestion_threshold ? 1 : 0;
     }
-    lane.pos[i] = pos;
-
-    if (is_exit && i == 0 && pos >= road_length) {
-      // Stage the completion: metric accumulation is floating-point
-      // order-sensitive and mutates shared counters, so it runs sequentially
-      // in apply_completions(), in exit-road order. Write the lane-carried
-      // waiting time back now; the pop at the end of the sweep discards it.
-      rt.completed = lane.vehicles.front();
-      veh_waiting_[rt.completed.index()] = lane.waiting[0];
-      head_completed = true;
+    const std::size_t road_index = road.id.index();
+    road_queued_approach_[road_index] += approach;
+    road_queued_congestion_[road_index] += congestion;
+    if (lane.link) {
+      // Dedicated lane: every queued vehicle belongs to the lane's movement.
+      link_queued_approach_[lane.link->index()] += approach;
     } else {
-      if (speed < waiting_threshold) {
-        // Waiting-time accumulation, folded into the lane update so the
-        // per-tick cost is O(active vehicles), never O(vehicles ever spawned),
-        // and contiguous: the scattered per-vehicle row is only touched when
-        // the vehicle leaves the lane.
-        lane.waiting[i] += dt;
-      }
-      if (count_queues) {
-        // Queued-count memo for next step's controller decisions; a vehicle
-        // that just completed is gone by decision time and must not count.
-        if (speed < approach_threshold) {
-          road_queued_approach_[road_index] += 1;
-          const LinkId movement =
-              dedicated ? lane_link : veh_next_link_[lane.vehicles[i].index()];
+      // Mixed (or exit) lane: gather each slow vehicle's own resolved
+      // movement; invalid on exit roads, where no link row exists.
+      for (std::size_t i = begin; i < n; ++i) {
+        if (speed[i] < approach_threshold) {
+          const LinkId movement = veh_next_link_[lane.vehicles[i].index()];
           if (movement.valid()) link_queued_approach_[movement.index()] += 1;
         }
-        if (speed < congestion_threshold) {
-          road_queued_congestion_[road_index] += 1;
-        }
       }
     }
-    leader_pos = pos;
-    leader_speed = speed;
   }
-  if (head_completed) {
+  if (begin == 1) {
     lane.pop_head();
   }
 }
@@ -547,19 +513,23 @@ void MicroSim::sweep_roads() {
     std::fill(link_queued_approach_.begin(), link_queued_approach_.end(), 0);
   }
   const std::vector<net::Road>& roads = net_.roads();
-  pool_->parallel_for(roads.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t r = begin; r < end; ++r) {
-      RoadRt& rt = roads_[r];
-      if (rt.occupancy == 0) continue;  // occupancy >= vehicles on lanes
-      const net::Road& road = roads[r];
-      StreamRng& stream = road_streams_[r];
-      for (Lane& lane : rt.lanes) {
-        // Empty dedicated lanes are common (traffic concentrates on a few
-        // movements); skip them before paying the call.
-        if (!lane.vehicles.empty()) sweep_lane(road, rt, lane, stream);
-      }
-    }
-  });
+  // The chunk id keys the per-work-unit kernel scratch: one scratch per
+  // participant, never shared, reused across that chunk's lanes and ticks.
+  pool_->parallel_for_indexed(
+      roads.size(), [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        LaneKernelScratch& scratch = sweep_scratch_[chunk];
+        for (std::size_t r = begin; r < end; ++r) {
+          RoadRt& rt = roads_[r];
+          if (rt.occupancy == 0) continue;  // occupancy >= vehicles on lanes
+          const net::Road& road = roads[r];
+          StreamRng& stream = road_streams_[r];
+          for (Lane& lane : rt.lanes) {
+            // Empty dedicated lanes are common (traffic concentrates on a
+            // few movements); skip them before paying the call.
+            if (!lane.vehicles.empty()) sweep_lane(road, rt, lane, stream, scratch);
+          }
+        }
+      });
   apply_completions();
 }
 

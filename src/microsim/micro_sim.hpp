@@ -57,6 +57,7 @@
 #include <vector>
 
 #include "src/core/controller.hpp"
+#include "src/microsim/lane_kernel.hpp"
 #include "src/microsim/params.hpp"
 #include "src/net/network.hpp"
 #include "src/stats/run_result.hpp"
@@ -199,7 +200,11 @@ class MicroSim {
   void service_junctions();
   // Data-parallel phase: Krauss update of every lane, partitioned by road.
   void sweep_roads();
-  void sweep_lane(const net::Road& road, RoadRt& rt, Lane& lane, StreamRng& rng);
+  // One lane's update: the vectorized kernel passes of lane_kernel.hpp over
+  // the lane's SoA arrays, then the (branchy, per-vehicle) accounting tail —
+  // completion staging, waiting-time accumulation, queued-count memos.
+  void sweep_lane(const net::Road& road, RoadRt& rt, Lane& lane, StreamRng& rng,
+                  LaneKernelScratch& scratch);
   // Applies the completions staged by sweep_roads(), in exit-road order.
   void apply_completions();
   // Grants a crossing to `vid` (head of a green lane) if rate, capacity and
@@ -238,6 +243,10 @@ class MicroSim {
   std::vector<StreamRng> road_streams_;
   // Sweep-phase worker pool, sized config_.threads (inline when 1).
   std::unique_ptr<ThreadPool> pool_;
+  // One lane-kernel scratch per sweep work unit (= pool participant): the
+  // kernel's materialized gap/leader/draw arrays, reused across lanes and
+  // ticks. Indexed by chunk id, so no two threads ever share one.
+  std::vector<LaneKernelScratch> sweep_scratch_;
 
   double now_ = 0.0;
   double next_control_ = 0.0;

@@ -4,6 +4,38 @@
 #include <stdexcept>
 
 namespace abp::queuesim {
+namespace {
+
+// The serve-credit core shared by the staged path (arbitrate_service) and
+// the fused serial path (arbitrate_and_serve), so the credit/burst/capacity
+// arithmetic that QueueSimThreadInvariance pins equal across the two exists
+// exactly once. Replenishes the link's credit (capped at one burst), then
+// serves while credit, queue and downstream capacity allow, committing the
+// occupancy / queued-count deltas and invoking on_serve(k) for served
+// vehicle k = 0, 1, ... — staging bookkeeping in one caller, inline
+// pop-and-deliver in the other. Returns the serve count.
+template <typename OnServe>
+int run_serve_credit(double& credit, std::size_t queue_size, double rate_dt,
+                     int& downstream_occupancy, int downstream_cap,
+                     int& from_road_queued, int& from_road_occupancy, OnServe&& on_serve) {
+  // Service credit replenishes at mu while green; the cap prevents banking
+  // service across steps in which the queue was empty.
+  const double burst = std::max(1.0, rate_dt);
+  credit = std::min(credit + rate_dt, burst);
+  const int queued = static_cast<int>(queue_size);
+  int served = 0;
+  while (credit >= 1.0 && served < queued && downstream_occupancy < downstream_cap) {
+    credit -= 1.0;
+    from_road_queued -= 1;
+    from_road_occupancy -= 1;
+    downstream_occupancy += 1;
+    on_serve(served);
+    served += 1;
+  }
+  return served;
+}
+
+}  // namespace
 
 QueueSim::QueueSim(const net::Network& network, QueueSimConfig config,
                    std::vector<core::ControllerPtr> controllers,
@@ -163,24 +195,15 @@ void QueueSim::arbitrate_service() {
     for (LinkId lid : node.phases[static_cast<std::size_t>(phase)].links) {
       const net::Link& link = net_.link(lid);
       LinkQueueState& lq = links_[lid.index()];
-      // Service credit replenishes at mu while green; the cap prevents
-      // banking service across steps in which the queue was empty.
-      const double burst = std::max(1.0, link.service_rate * config_.step_s);
-      lq.credit = std::min(lq.credit + link.service_rate * config_.step_s, burst);
-      RoadState& downstream = roads_[link.to_road.index()];
-      const int downstream_cap = net_.road(link.to_road).capacity;
-      // The serial loop's serve arithmetic, with the vehicle pops deferred to
-      // the parallel passes: identical comparisons and credit subtractions,
-      // so the served counts (and therefore every metric) match bit for bit.
-      const int queued = static_cast<int>(lq.queue.size());
-      int served = 0;
-      while (lq.credit >= 1.0 && served < queued && downstream.occupancy < downstream_cap) {
-        lq.credit -= 1.0;
-        road_queued_[link.from_road.index()] -= 1;
-        roads_[link.from_road.index()].occupancy -= 1;
-        downstream.occupancy += 1;
-        served += 1;
-      }
+      // The serial loop's serve arithmetic (run_serve_credit), with the
+      // vehicle pops deferred to the parallel passes: identical comparisons
+      // and credit subtractions, so the served counts (and therefore every
+      // metric) match bit for bit.
+      const int served = run_serve_credit(
+          lq.credit, lq.queue.size(), link.service_rate * config_.step_s,
+          roads_[link.to_road.index()].occupancy, net_.road(link.to_road).capacity,
+          road_queued_[link.from_road.index()], roads_[link.from_road.index()].occupancy,
+          [](int) {});
       if (served > 0) {
         serve_count_[lid.index()] = served;
         service_from_[link.from_road.index()] = 1;
@@ -229,22 +252,70 @@ void QueueSim::sweep_deliver_and_transit(std::size_t begin, std::size_t end,
       }
       inbound.clear();
     }
-    while (!state.transit.empty() && state.transit.front().arrive_time <= now_) {
-      const VehicleId vid = state.transit.front().vehicle;
-      state.transit.pop_front();
-      if (road.is_exit()) {
-        state.occupancy -= 1;
-        completions_[r].push_back(vid);
-      } else {
-        route_vehicle_into_queue(vid, road.id);
-      }
-    }
+    drain_due_transits(r, road);
     if (road_queued_[r] > 0) {
       for (LinkId lid : net_.links_from(road.id)) {
         for (VehicleId vid : links_[lid.index()].queue) {
           vehicles_[vid.index()].queue_time += config_.step_s;
         }
       }
+    }
+  }
+}
+
+void QueueSim::arbitrate_and_serve(double serve_time) {
+  // The threads == 1 tick, fused: at one thread the phase split buys nothing
+  // — the barrier is a no-op, the per-link staging is pure indirection, and
+  // the serve-count / from-road-flag / inbound-order bookkeeping exists only
+  // so road-partitioned passes can replay the arbitration order. The serial
+  // path is therefore the historical serial service loop itself:
+  // run_serve_credit — the one copy of the arithmetic arbitrate_service()
+  // also runs, which QueueSimThreadInvariance pins equal across the paths —
+  // walked in the same (intersection, phase-link) order, with each served
+  // vehicle popped and delivered into the downstream transit FIFO on the
+  // spot. Bit-identical to arbitration + staged passes by construction:
+  // arbitration never reads the deferred state (a link's serve loop reads
+  // its own queue's *size*, the downstream occupancy it updates itself, and
+  // its own credit), and in-order inline delivery produces exactly the
+  // transit FIFO contents pass 2 rebuilds from inbound_order_.
+  for (const net::Intersection& node : net_.intersections()) {
+    const net::PhaseIndex phase = displayed_[node.id.index()];
+    if (phase == net::kTransitionPhase) continue;
+    for (LinkId lid : node.phases[static_cast<std::size_t>(phase)].links) {
+      const net::Link& link = net_.link(lid);
+      LinkQueueState& lq = links_[lid.index()];
+      RoadState& downstream = roads_[link.to_road.index()];
+      // Arrival timestamps use the pre-advance tick time, exactly as the
+      // staged path stamps them in sweep_deliver_and_transit; the division
+      // is deferred until the first vehicle actually serves.
+      double arrive = 0.0;
+      run_serve_credit(lq.credit, lq.queue.size(), link.service_rate * config_.step_s,
+                       downstream.occupancy, net_.road(link.to_road).capacity,
+                       road_queued_[link.from_road.index()],
+                       roads_[link.from_road.index()].occupancy, [&](int k) {
+                         if (k == 0) {
+                           arrive =
+                               serve_time + net_.road(link.to_road).free_flow_time_s();
+                         }
+                         const VehicleId vid = lq.queue.front();
+                         lq.queue.pop_front();
+                         vehicles_[vid.index()].next_turn += 1;
+                         downstream.transit.push_back({arrive, vid});
+                       });
+    }
+  }
+}
+
+void QueueSim::drain_due_transits(std::size_t r, const net::Road& road) {
+  RoadState& state = roads_[r];
+  while (!state.transit.empty() && state.transit.front().arrive_time <= now_) {
+    const VehicleId vid = state.transit.front().vehicle;
+    state.transit.pop_front();
+    if (road.is_exit()) {
+      state.occupancy -= 1;
+      completions_[r].push_back(vid);
+    } else {
+      route_vehicle_into_queue(vid, road.id);
     }
   }
 }
@@ -275,15 +346,44 @@ void QueueSim::step() {
     next_sample_ += config_.sample_interval_s;
   }
   admit_spawns(now_, now_ + config_.step_s);
+  if (config_.threads == 1) {
+    // Serial path: the fused sweep — arbitration serves inline (no staging,
+    // no bookkeeping, no barrier), then due transits in road order and one
+    // flat queue-time pass. Bit-identical to the staged path below;
+    // QueueSimThreadInvariance pins the two against each other at
+    // threads {1, 2, 8}.
+    arbitrate_and_serve(now_);
+    now_ += config_.step_s;
+    // Completions are staged rather than applied inline, sharing
+    // apply_completions() with the threaded path; road order here ==
+    // exit-road order there, so the metric accumulation order is identical
+    // anyway.
+    for (const net::Road& road : net_.roads()) {
+      drain_due_transits(road.id.index(), road);
+    }
+    // Queue-time accumulation as one contiguous pass over the movement
+    // queues instead of the road -> links_from indirection of the
+    // road-partitioned pass (which needs road-owned writes). Every queued
+    // vehicle's accumulator is touched exactly once per tick, so iteration
+    // order cannot change any sum: bit-identical, and measurably cheaper —
+    // newly-routed vehicles above are already queued and count, exactly as
+    // in the per-road pass.
+    for (const LinkQueueState& lq : links_) {
+      for (VehicleId vid : lq.queue) {
+        vehicles_[vid.index()].queue_time += config_.step_s;
+      }
+    }
+    apply_completions();
+    return;
+  }
   arbitrate_service();
   const double serve_time = now_;  // arrival stamps predate the advance
   now_ += config_.step_s;
   // Road-partitioned parallel service sweep. Two passes with a barrier
   // between them: pass 1 touches only from-road state (movement queues,
-  // vehicles being served), pass 2 only to-road state (transit FIFO, its own
-  // queues' waiting times) — the barrier is what lets a road's work unit
-  // drain the staging its upstream roads wrote. With threads == 1 both
-  // dispatches degenerate to inline loops.
+  // vehicles being served), pass 2 only to-road state (transit FIFO, its
+  // own queues' waiting times) — the barrier is what lets a road's work
+  // unit drain the staging its upstream roads wrote.
   const std::size_t road_count = net_.roads().size();
   pool_->parallel_for(road_count,
                       [this](std::size_t b, std::size_t e) { sweep_pop_served(b, e); });

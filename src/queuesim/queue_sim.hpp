@@ -153,6 +153,16 @@ class QueueSim {
   // due, stage exit completions, and accumulate queue time. `serve_time` is
   // the pre-advance tick time (arrival timestamps match the serial loop).
   void sweep_deliver_and_transit(std::size_t begin, std::size_t end, double serve_time);
+  // Shared by pass 2 and the fused serial path: pop a road's due transits,
+  // routing arrivals into its own movement queues and staging exit
+  // completions for apply_completions().
+  void drain_due_transits(std::size_t r, const net::Road& road);
+  // The threads == 1 tick's service phase, fused: the historical serial
+  // loop — arbitrate_service()'s exact credit arithmetic with each served
+  // vehicle popped and delivered inline (no staging, no bookkeeping, no
+  // barrier). Bit-identical to arbitration + the two staged passes; recovers
+  // the phase split's serial-only overhead.
+  void arbitrate_and_serve(double serve_time);
   // Applies the completions staged by pass 2, in exit-road (road id) order.
   void apply_completions();
   void sample_watches();

@@ -87,16 +87,16 @@ class StreamRng {
 
   result_type operator()() noexcept { return next(); }
 
-  // Next word of the stream: mixes the key with the counter, then advances
-  // the counter. Inline: this is one draw per vehicle-step in the micro-sim
-  // sweep, and a cross-TU call per draw is measurable at scale.
-  std::uint64_t next() noexcept {
-    // Four bumped-key Philox 2x64 rounds over (counter, key).
+  // Draw `ctr` of the stream keyed by `key`: four bumped-key Philox 2x64
+  // rounds over (counter, key). A pure function — the whole determinism story
+  // of the parallel sweep, and what makes bulk draws possible: draw k is the
+  // same value whether it is taken alone, in sequence, or in a batch.
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t key, std::uint64_t ctr) noexcept {
     constexpr std::uint64_t kMul = 0xd2b74407b1ce6e93ULL;   // Philox M2x64
     constexpr std::uint64_t kWeyl = 0x9e3779b97f4a7c15ULL;  // golden-ratio bump
-    std::uint64_t x0 = counter_++;
-    std::uint64_t x1 = key_;
-    std::uint64_t k = key_;
+    std::uint64_t x0 = ctr;
+    std::uint64_t x1 = key;
+    std::uint64_t k = key;
     for (int round = 0; round < 4; ++round) {
       const unsigned __int128 product =
           static_cast<unsigned __int128>(x0) * static_cast<unsigned __int128>(kMul);
@@ -109,8 +109,44 @@ class StreamRng {
     return x0 ^ x1;
   }
 
+  // Word -> uniform double in [0, 1): the 53-bit construction of Rng::uniform01.
+  [[nodiscard]] static double to_u01(std::uint64_t word) noexcept {
+    return static_cast<double>(word >> 11) * 0x1.0p-53;
+  }
+
+  // Next word of the stream: mixes the key with the counter, then advances
+  // the counter. Inline: this is one draw per vehicle-step in the micro-sim
+  // sweep, and a cross-TU call per draw is measurable at scale.
+  std::uint64_t next() noexcept { return mix(key_, counter_++); }
+
   // Uniform double in [0, 1). Same 53-bit construction as Rng::uniform01.
-  double uniform01() noexcept { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+  double uniform01() noexcept { return to_u01(next()); }
+
+  // Bulk draw: fills dst[0..n) with exactly the values n sequential
+  // uniform01() calls would produce, and advances the counter by n — the
+  // stream-position accounting is indistinguishable from n scalar draws.
+  // Because draw k is a pure function of (key, k), the loop body has no
+  // loop-carried state: the four-round mixers of independent counters
+  // pipeline across iterations instead of serializing on a state update,
+  // which is what makes the micro-sim's per-lane bulk dawdle fill cheaper
+  // than n scalar next() calls even though the arithmetic is identical.
+  void fill_u01(double* dst, std::size_t n) noexcept {
+    const std::uint64_t base = counter_;
+    for (std::size_t j = 0; j < n; ++j) dst[j] = to_u01(mix(key_, base + j));
+    counter_ += n;
+  }
+
+  // Bulk draw in tail-first consumption order: dst[i] receives draw
+  // base + (n-1-i), so a kernel that assigns draws to lane slots head-first
+  // (slot 0 = head) reproduces bit-for-bit the stream a tail-first scalar
+  // loop (slot n-1 drawn first) consumed. Same counter advance as fill_u01;
+  // only the destination order differs, keeping the hot speed-update loop's
+  // read of the draws contiguous and forward.
+  void fill_u01_tailfirst(double* dst, std::size_t n) noexcept {
+    const std::uint64_t base = counter_;
+    for (std::size_t j = 0; j < n; ++j) dst[n - 1 - j] = to_u01(mix(key_, base + j));
+    counter_ += n;
+  }
 
   // Number of draws consumed so far; settable for replay/skip-ahead.
   [[nodiscard]] std::uint64_t counter() const noexcept { return counter_; }

@@ -60,9 +60,21 @@ class ThreadPool {
   // Blocks until every chunk has finished; rethrows the first exception any
   // chunk raised. Reentrant calls from inside fn are not supported.
   void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+    parallel_for_indexed(
+        n, [&fn](std::size_t begin, std::size_t end, std::size_t) { fn(begin, end); });
+  }
+
+  // Like parallel_for, but fn(begin, end, chunk) additionally receives the
+  // chunk's index in [0, size()): a stable work-unit id — one per
+  // participant, a pure function of the dispatch like the partition itself —
+  // for callers that key per-work-unit scratch (MicroSim's lane-kernel
+  // buffers) without replicating the chunking formula.
+  void parallel_for_indexed(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
     if (n == 0) return;
     if (size_ == 1 || n == 1) {
-      fn(0, n);  // inline fast path: no locks, no wakeups
+      fn(0, n, 0);  // inline fast path: no locks, no wakeups
       return;
     }
     {
@@ -100,7 +112,7 @@ class ThreadPool {
     const std::size_t end = begin + base + (w < extra ? 1 : 0);
     if (begin >= end) return;
     try {
-      (*job_fn_)(begin, end);
+      (*job_fn_)(begin, end, w);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!error_) error_ = std::current_exception();
@@ -132,7 +144,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
-  const std::function<void(std::size_t, std::size_t)>* job_fn_ = nullptr;
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* job_fn_ = nullptr;
   std::size_t job_n_ = 0;
   int pending_ = 0;
   std::uint64_t epoch_ = 0;

@@ -1,10 +1,15 @@
-// Tests for the Krauss car-following model: safety, stopping, speed keeping.
+// Tests for the Krauss car-following model: safety, stopping, speed keeping —
+// and the lane-level pin of the vectorized kernel against the scalar
+// reference.
 #include "src/microsim/krauss.hpp"
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <vector>
 
+#include "src/microsim/lane_kernel.hpp"
 #include "src/util/rng.hpp"
 
 namespace abp::microsim {
@@ -138,6 +143,131 @@ TEST_P(KraussPlatoon, QueueDischargeIsOrderlyAndCollisionFree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(PlatoonSizes, KraussPlatoon, ::testing::Values(2, 5, 10, 20, 40));
+
+// --- Lane-level pin: vectorized kernel == scalar reference, bit for bit ---
+
+void expect_lanes_bitwise_equal(const std::vector<double>& a, const std::vector<double>& b,
+                                const char* what, int tick) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(a[i]), std::bit_cast<std::uint64_t>(b[i]))
+        << what << "[" << i << "] diverged at tick " << tick << ": ref=" << a[i]
+        << " vec=" << b[i];
+  }
+}
+
+struct LaneScenario {
+  const char* name;
+  std::size_t n;
+  bool is_exit;
+  bool dawdling;
+};
+
+class LaneKernelEquality : public ::testing::TestWithParam<LaneScenario> {};
+
+TEST_P(LaneKernelEquality, VectorizedMatchesScalarReferenceOverAFullApproach) {
+  // Evolve the same lane through both implementations for 400 ticks and
+  // demand bitwise equality (positions, speeds, RNG counters) after every
+  // tick. The horizon walks each lane through every boundary regime the
+  // branchless kernel rewrites: free flow (the sqrt-eliding fast-path mask),
+  // the approach and capture of the stop line (head clamp every tick while
+  // creeping), compression into a standing queue (zero and negative
+  // effective gaps, overlap-guard clamps) and the crawl across the waiting/
+  // queued speed thresholds in between.
+  const LaneScenario sc = GetParam();
+  const VehicleParams p = params();
+  const double dt = 0.5;
+  const double speed_limit = 13.9;
+  const double road_length = 260.0;
+  Rng init(0xabcdef ^ sc.n);
+  std::vector<double> pos_ref(sc.n);
+  std::vector<double> speed_ref(sc.n);
+  double front = 250.0;
+  for (std::size_t i = 0; i < sc.n; ++i) {
+    pos_ref[i] = front;
+    // Spacing sweeps from bumper-to-bumper (zero effective gap) to loose.
+    front -= p.length_m + init.uniform(0.0, 3.0 * p.min_gap_m);
+    speed_ref[i] = init.uniform(0.0, speed_limit);
+  }
+  std::vector<double> pos_vec = pos_ref;
+  std::vector<double> speed_vec = speed_ref;
+  StreamRng rng_ref(2020, 17);
+  StreamRng rng_vec(2020, 17);
+  LaneKernelScratch scratch;
+  for (int tick = 0; tick < 400; ++tick) {
+    lane_update_reference(pos_ref.data(), speed_ref.data(), sc.n, speed_limit,
+                          road_length, sc.is_exit, p, dt,
+                          sc.dawdling ? &rng_ref : nullptr);
+    lane_update_vectorized(pos_vec.data(), speed_vec.data(), sc.n, speed_limit,
+                           road_length, sc.is_exit, p, dt,
+                           sc.dawdling ? &rng_vec : nullptr, scratch);
+    expect_lanes_bitwise_equal(pos_ref, pos_vec, "pos", tick);
+    expect_lanes_bitwise_equal(speed_ref, speed_vec, "speed", tick);
+    ASSERT_EQ(rng_ref.counter(), rng_vec.counter()) << "tick " << tick;
+  }
+  if (!sc.is_exit) {
+    // Sanity that the scenario actually exercised the stop-line regime.
+    EXPECT_DOUBLE_EQ(pos_ref[0], road_length - 0.2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lanes, LaneKernelEquality,
+    ::testing::Values(LaneScenario{"head_only", 1, false, true},
+                      LaneScenario{"pair", 2, false, true},
+                      LaneScenario{"simd_width", 4, false, true},
+                      LaneScenario{"odd_tail", 7, false, true},
+                      LaneScenario{"platoon", 16, false, true},
+                      LaneScenario{"column", 33, false, true},
+                      LaneScenario{"crush", 64, false, true},
+                      LaneScenario{"no_dawdle", 16, false, false},
+                      LaneScenario{"exit_run_off", 8, true, true},
+                      LaneScenario{"exit_no_dawdle", 5, true, false}),
+    [](const ::testing::TestParamInfo<LaneScenario>& info) { return info.param.name; });
+
+TEST(LaneKernelEquality, EmptyLaneIsANoOpInBothImplementations) {
+  // n == 0 must touch nothing — no draws consumed, no scratch writes, no
+  // reads through the (possibly null) array pointers.
+  const VehicleParams p = params();
+  StreamRng rng(1, 1);
+  LaneKernelScratch scratch;
+  lane_update_reference(nullptr, nullptr, 0, 13.9, 200.0, false, p, 0.5, &rng);
+  lane_update_vectorized(nullptr, nullptr, 0, 13.9, 200.0, false, p, 0.5, &rng, scratch);
+  EXPECT_EQ(rng.counter(), 0u);
+  EXPECT_TRUE(scratch.gap.empty());
+}
+
+TEST(LaneKernelEquality, ParkedHeadAndOverlappedFollowersMatch) {
+  // Hand-built boundary states: a head parked exactly at the stop line, a
+  // follower with exactly zero gap, one physically overlapping its leader
+  // (negative gap: the safe speed must pin to 0 and the overlap guard must
+  // clamp identically), and a free-flow tail straddling the sqrt fast-path
+  // boundary.
+  const VehicleParams p = params();
+  const double dt = 0.5;
+  const double speed_limit = 13.9;
+  const double road_length = 200.0;
+  std::vector<double> pos_ref = {
+      road_length - 0.2,                                   // parked at the line
+      road_length - 0.2 - p.length_m - p.min_gap_m,        // exactly zero gap
+      road_length - 0.2 - 2.0 * p.length_m - p.min_gap_m,  // negative gap (overlap)
+      120.0, 60.0, 0.0};
+  std::vector<double> speed_ref = {0.0, 0.3, 2.0, 13.9, 7.0, 0.0};
+  std::vector<double> pos_vec = pos_ref;
+  std::vector<double> speed_vec = speed_ref;
+  StreamRng rng_ref(7, 3);
+  StreamRng rng_vec(7, 3);
+  LaneKernelScratch scratch;
+  for (int tick = 0; tick < 100; ++tick) {
+    lane_update_reference(pos_ref.data(), speed_ref.data(), pos_ref.size(), speed_limit,
+                          road_length, false, p, dt, &rng_ref);
+    lane_update_vectorized(pos_vec.data(), speed_vec.data(), pos_vec.size(), speed_limit,
+                           road_length, false, p, dt, &rng_vec, scratch);
+    expect_lanes_bitwise_equal(pos_ref, pos_vec, "pos", tick);
+    expect_lanes_bitwise_equal(speed_ref, speed_vec, "speed", tick);
+    ASSERT_EQ(rng_ref.counter(), rng_vec.counter()) << "tick " << tick;
+  }
+}
 
 TEST(KraussFastPath, BitIdenticalToExactFormAcrossTheBoundary) {
   // next_speed_fast may skip the sqrt only where it provably cannot change

@@ -272,6 +272,50 @@ TEST(StreamRng, Uniform01InRangeWithSaneMean) {
   EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
 }
 
+class StreamRngBulkFill : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StreamRngBulkFill, MatchesSequentialDrawsAndCounter) {
+  // The property the vectorized lane sweep rests on: one bulk fill of n
+  // draws is indistinguishable from n sequential uniform01() calls — same
+  // values bit for bit, same final counter. Start mid-stream so the batch
+  // boundary is not counter 0.
+  const std::size_t n = GetParam();
+  StreamRng bulk(2020, 5);
+  StreamRng seq(2020, 5);
+  for (int i = 0; i < 7; ++i) {
+    bulk.uniform01();
+    seq.uniform01();
+  }
+  std::vector<double> dst(n + 1, -1.0);  // +1 sentinel guards against overrun
+  bulk.fill_u01(dst.data(), n);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_EQ(dst[j], seq.uniform01()) << "draw " << j << " of " << n;
+  }
+  EXPECT_EQ(dst[n], -1.0);
+  EXPECT_EQ(bulk.counter(), seq.counter());
+  // The streams stay in lockstep after the batch.
+  EXPECT_EQ(bulk.next(), seq.next());
+}
+
+TEST_P(StreamRngBulkFill, TailFirstFillIsTheReversedBulkFill) {
+  // fill_u01_tailfirst serves a head-first kernel replaying a tail-first
+  // scalar consumer: dst[i] must hold draw (n-1-i), and the counter must
+  // advance exactly as fill_u01 does.
+  const std::size_t n = GetParam();
+  StreamRng a(99, 3);
+  StreamRng b(99, 3);
+  std::vector<double> fwd(n), rev(n);
+  a.fill_u01(fwd.data(), n);
+  b.fill_u01_tailfirst(rev.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(rev[i], fwd[n - 1 - i]) << "slot " << i << " of " << n;
+  }
+  EXPECT_EQ(a.counter(), b.counter());
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, StreamRngBulkFill,
+                         ::testing::Values(0u, 1u, 3u, 4u, 17u));
+
 TEST(StreamRng, BitMixSpreadsAcrossWords) {
   // Crude avalanche check: consecutive counters should flip about half the
   // output bits on average — a Weyl-style weak mix would fail this wildly.
