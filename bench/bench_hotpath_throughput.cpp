@@ -21,6 +21,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "src/net/grid.hpp"
 #include "src/queuesim/queue_sim.hpp"
 #include "src/scenario/scenario.hpp"
+#include "src/sim/simulator.hpp"
 #include "src/traffic/demand.hpp"
 
 namespace abp::bench {
@@ -155,6 +157,36 @@ Row run_batch(scenario::SimulatorKind kind, const char* name, int jobs,
   return row;
 }
 
+// Fault-machinery rows, driven through the unified sim::Simulator interface
+// (the only layer that executes fault schedules). The *-nofault rows carry an
+// empty schedule and gate the zero-cost-when-empty claim: make_simulator's
+// adapter takes the plain pass-through path, so these rows must stay within
+// compare_hotpath.py's perf gate against the direct-construction rows'
+// history. The *-incident rows run the full incident repertoire — a capacity
+// drop with restoration, a sensor dropout and a controller outage, timed as
+// fractions of the horizon so ABP_FAST smoke runs still fire every event.
+Row run_unified(scenario::SimulatorKind kind, const char* name, double duration_s,
+                std::uint64_t seed, bool with_faults) {
+  scenario::ScenarioConfig cfg =
+      scenario::paper_scenario(traffic::PatternKind::II, core::ControllerType::UtilBp);
+  cfg.grid.rows = 4;
+  cfg.grid.cols = 4;
+  cfg.simulator = kind;
+  cfg.duration_s = duration_s;
+  cfg.seed = seed;
+  if (with_faults) {
+    cfg.faults.capacity.push_back(
+        {{0, 0, net::Side::North}, 0.2 * duration_s, 0.5 * duration_s, 0.3});
+    cfg.faults.sensors.push_back({{0, 1}, 0.1 * duration_s, 0.4 * duration_s,
+                                  core::SensorFaultKind::Dropout, 0, 0});
+    cfg.faults.controllers.push_back({{2, 2}, 0.3 * duration_s, 0.6 * duration_s});
+  }
+  const double dt_s = kind == scenario::SimulatorKind::Micro ? cfg.micro.dt_s
+                                                             : cfg.queue.step_s;
+  const std::unique_ptr<sim::Simulator> sim = sim::make_simulator(cfg);
+  return drive(*sim, name, 4, 1, duration_s, dt_s);
+}
+
 void write_json(const std::string& path, const std::vector<Row>& rows, double duration_s) {
   std::ofstream out(path);
   // The header's sim_seconds is the per-run horizon; batch rows cover
@@ -231,6 +263,12 @@ int main(int argc, char** argv) {
   for (int jobs : sim_threads) {
     emit(run_batch(scenario::SimulatorKind::Micro, "micro-batch", jobs, duration_s, seed));
   }
+  // Fault-machinery rows on the 4x4 grid (see run_unified): empty-schedule
+  // pass-through vs the full incident repertoire.
+  emit(run_unified(scenario::SimulatorKind::Queue, "queue-nofault", duration_s, seed, false));
+  emit(run_unified(scenario::SimulatorKind::Queue, "queue-incident", duration_s, seed, true));
+  emit(run_unified(scenario::SimulatorKind::Micro, "micro-nofault", duration_s, seed, false));
+  emit(run_unified(scenario::SimulatorKind::Micro, "micro-incident", duration_s, seed, true));
   write_json(json_path, rows, duration_s);
   return 0;
 }

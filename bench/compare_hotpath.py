@@ -15,6 +15,11 @@ real signal (the regression gate's teeth are the larger grids). Speedups are rep
 if a row improves by more than the threshold, the gate suggests re-capturing
 the baseline so the bar ratchets upward.
 
+A report whose rows lack the required keys (grid, sim, vehicle_steps_per_sec)
+is a malformed input, not a perf verdict: the gate names the file, row index
+and missing keys and exits 2 so CI distinguishes "bench output broke" from
+"perf regressed".
+
 Usage: compare_hotpath.py BASELINE.json CURRENT.json [--threshold 0.30]
 """
 
@@ -24,11 +29,25 @@ import os
 import sys
 
 
+class MalformedReport(Exception):
+    """A bench JSON row is missing required keys (named in the message)."""
+
+
+REQUIRED_KEYS = ("grid", "sim", "vehicle_steps_per_sec")
+
+
 def load_rows(path):
     with open(path) as f:
         doc = json.load(f)
     rows = {}
-    for row in doc.get("rows", []):
+    for i, row in enumerate(doc.get("rows", [])):
+        missing = [k for k in REQUIRED_KEYS if k not in row]
+        if missing:
+            raise MalformedReport(
+                f"{path}: rows[{i}] is missing {', '.join(missing)} "
+                f"(has: {', '.join(sorted(row)) or 'nothing'}); "
+                f"re-run bench_hotpath_throughput to regenerate the report"
+            )
         key = (row["grid"], row["sim"], int(row.get("threads", 1)))
         rows[key] = (float(row["vehicle_steps_per_sec"]), float(row.get("wall_seconds", 0.0)))
     return doc, rows
@@ -52,8 +71,12 @@ def main():
     )
     args = parser.parse_args()
 
-    base_doc, base = load_rows(args.baseline)
-    cur_doc, cur = load_rows(args.current)
+    try:
+        base_doc, base = load_rows(args.baseline)
+        cur_doc, cur = load_rows(args.current)
+    except MalformedReport as e:
+        print(f"ERROR: malformed bench report: {e}", file=sys.stderr)
+        return 2
 
     print(
         f"perf gate: baseline compiler={base_doc.get('compiler', '?')!r} "
@@ -87,7 +110,13 @@ def main():
         print(fmt.format(grid, sim, threads, f"{base_rate:.3g}", f"{cur_rate:.3g}", f"{ratio:.2f}", note))
     for key in sorted(set(cur) - set(base)):
         grid, sim, threads = key
-        print(fmt.format(grid, sim, threads, "-", f"{cur[key][0]:.3g}", "-", "new row (not gated)"))
+        cur_rate, cur_wall = cur[key]
+        # Same skip rules as matched rows: a new row that is also too short to
+        # measure says so, so nobody mistakes it for a gateable number.
+        note = "new row (not gated)"
+        if cur_wall < args.min_wall:
+            note += f"; too short to gate (<{args.min_wall}s wall)"
+        print(fmt.format(grid, sim, threads, "-", f"{cur_rate:.3g}", "-", note))
 
     if regressions:
         print(

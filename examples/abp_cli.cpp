@@ -12,6 +12,11 @@
 //           [--simulator micro|queue] [--rows N] [--cols N]
 //           [--mixed-lanes] [--threads N] [--replications N] [--jobs N]
 //           [--allow-oversubscribe] [--csv PREFIX]
+//           [--incident T] [--fault-capacity R,C,SIDE,START,END,FACTOR]
+//           [--fault-sensor R,C,KIND,START,END[,BIAS[,MAG]]]
+//           [--fault-controller R,C,FAIL[,RECOVER]]
+//           [--guard throw|record|abort] [--guard-interval S]
+//           [--tick-budget N] [--retries N]
 //
 // Two parallelism axes, which multiply (see docs/PERFORMANCE.md,
 // "Run-level vs tick-level parallelism"):
@@ -25,19 +30,35 @@
 // jobs x threads > hardware_concurrency unless --allow-oversubscribe is
 // passed (oversubscribing only adds contention).
 //
+// Fault injection (docs/ROBUSTNESS.md): the repeatable --fault-* flags add
+// timed incidents to the run's FaultSchedule; --incident T is a canned
+// mixed incident (capacity drop + sensor dropout + controller failover)
+// starting at T, used by the CI smoke step. --guard enables the runtime
+// invariant guard; --tick-budget and --retries configure the experiment
+// runner's per-run deadline and retry policy in --replications mode, where
+// per-seed statuses (ok / timeout / error) are reported and the summary is
+// computed over the runs that completed.
+//
 // Examples:
 //   abp_cli --pattern I --controller util
 //   abp_cli --pattern mixed --controller cap --period 20 --csv out/run1
 //   abp_cli --pattern II --replications 10 --jobs 4
+//   abp_cli --pattern II --duration 900 --incident 300 --guard record
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "src/exp/experiment_runner.hpp"
 #include "src/scenario/scenario.hpp"
+#include "src/stats/student_t.hpp"
+#include "src/util/accumulator.hpp"
 #include "src/util/csv.hpp"
 
 namespace {
@@ -51,7 +72,13 @@ namespace {
                "[--simulator micro|queue]\n"
                "               [--rows N] [--cols N] [--mixed-lanes] [--threads N]\n"
                "               [--replications N] [--jobs N] [--allow-oversubscribe]\n"
-               "               [--csv PREFIX]\n");
+               "               [--csv PREFIX]\n"
+               "               [--incident T] "
+               "[--fault-capacity R,C,SIDE,START,END,FACTOR]\n"
+               "               [--fault-sensor R,C,KIND,START,END[,BIAS[,MAG]]]\n"
+               "               [--fault-controller R,C,FAIL[,RECOVER]]\n"
+               "               [--guard throw|record|abort] [--guard-interval S]\n"
+               "               [--tick-budget N] [--retries N]\n");
   std::exit(2);
 }
 
@@ -74,6 +101,50 @@ abp::core::ControllerType parse_controller(const std::string& s) {
   usage_error("unknown controller");
 }
 
+abp::net::Side parse_side(const std::string& s) {
+  using abp::net::Side;
+  if (s == "north" || s == "N") return Side::North;
+  if (s == "east" || s == "E") return Side::East;
+  if (s == "south" || s == "S") return Side::South;
+  if (s == "west" || s == "W") return Side::West;
+  usage_error("unknown side (use north|east|south|west)");
+}
+
+abp::core::SensorFaultKind parse_sensor_kind(const std::string& s) {
+  using abp::core::SensorFaultKind;
+  if (s == "dropout") return SensorFaultKind::Dropout;
+  if (s == "stuck") return SensorFaultKind::StuckAt;
+  if (s == "noise") return SensorFaultKind::Noise;
+  usage_error("unknown sensor fault kind (use dropout|stuck|noise)");
+}
+
+abp::scenario::GuardPolicy parse_guard_policy(const std::string& s) {
+  using abp::scenario::GuardPolicy;
+  if (s == "throw") return GuardPolicy::Throw;
+  if (s == "record") return GuardPolicy::Record;
+  if (s == "abort") return GuardPolicy::Abort;
+  usage_error("unknown guard policy (use throw|record|abort)");
+}
+
+std::vector<std::string> split_fields(const std::string& s) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(s.substr(start));
+      return fields;
+    }
+    fields.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+double parse_time(const std::string& s) {
+  if (s == "inf") return std::numeric_limits<double>::infinity();
+  return std::atof(s.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -89,8 +160,13 @@ int main(int argc, char** argv) {
   int threads = 1;
   int replications = 1;
   int jobs = 1;
+  long long tick_budget = 0;
+  int retries = 0;
   bool allow_oversubscribe = false;
   bool mixed_lanes = false;
+  double incident_at = -1.0;
+  scenario::FaultSchedule faults;
+  scenario::GuardConfig guard;
   std::string csv_prefix;
 
   for (int i = 1; i < argc; ++i) {
@@ -128,10 +204,53 @@ int main(int argc, char** argv) {
       replications = std::atoi(value().c_str());
     } else if (arg == "--jobs") {
       jobs = std::atoi(value().c_str());
+    } else if (arg == "--tick-budget") {
+      tick_budget = std::atoll(value().c_str());
+    } else if (arg == "--retries") {
+      retries = std::atoi(value().c_str());
     } else if (arg == "--allow-oversubscribe") {
       allow_oversubscribe = true;
     } else if (arg == "--mixed-lanes") {
       mixed_lanes = true;
+    } else if (arg == "--incident") {
+      incident_at = std::atof(value().c_str());
+    } else if (arg == "--fault-capacity") {
+      const std::vector<std::string> f = split_fields(value());
+      if (f.size() != 6) usage_error("--fault-capacity needs R,C,SIDE,START,END,FACTOR");
+      scenario::CapacityFault fault;
+      fault.road = {std::atoi(f[0].c_str()), std::atoi(f[1].c_str()), parse_side(f[2])};
+      fault.start_s = parse_time(f[3]);
+      fault.end_s = parse_time(f[4]);
+      fault.capacity_factor = std::atof(f[5].c_str());
+      faults.capacity.push_back(fault);
+    } else if (arg == "--fault-sensor") {
+      const std::vector<std::string> f = split_fields(value());
+      if (f.size() < 5 || f.size() > 7) {
+        usage_error("--fault-sensor needs R,C,KIND,START,END[,BIAS[,MAG]]");
+      }
+      scenario::SensorFault fault;
+      fault.node = {std::atoi(f[0].c_str()), std::atoi(f[1].c_str())};
+      fault.kind = parse_sensor_kind(f[2]);
+      fault.start_s = parse_time(f[3]);
+      fault.end_s = parse_time(f[4]);
+      if (f.size() > 5) fault.bias = std::atoi(f[5].c_str());
+      if (f.size() > 6) fault.noise_magnitude = std::atoi(f[6].c_str());
+      faults.sensors.push_back(fault);
+    } else if (arg == "--fault-controller") {
+      const std::vector<std::string> f = split_fields(value());
+      if (f.size() < 3 || f.size() > 4) {
+        usage_error("--fault-controller needs R,C,FAIL[,RECOVER]");
+      }
+      scenario::ControllerFault fault;
+      fault.node = {std::atoi(f[0].c_str()), std::atoi(f[1].c_str())};
+      fault.fail_s = parse_time(f[2]);
+      if (f.size() > 3) fault.recover_s = parse_time(f[3]);
+      faults.controllers.push_back(fault);
+    } else if (arg == "--guard") {
+      guard.enabled = true;
+      guard.policy = parse_guard_policy(value());
+    } else if (arg == "--guard-interval") {
+      guard.interval_s = std::atof(value().c_str());
     } else if (arg == "--csv") {
       csv_prefix = value();
     } else if (arg == "--help" || arg == "-h") {
@@ -146,6 +265,11 @@ int main(int argc, char** argv) {
   if (jobs < 1 || jobs > 256) usage_error("--jobs must be in [1, 256]");
   if (jobs > 1 && replications == 1) {
     usage_error("--jobs only applies to --replications batches");
+  }
+  if (tick_budget < 0) usage_error("--tick-budget must be >= 0");
+  if (retries < 0) usage_error("--retries must be >= 0");
+  if ((tick_budget > 0 || retries > 0) && replications == 1) {
+    usage_error("--tick-budget/--retries only apply to --replications batches");
   }
   // The two axes multiply: each of the concurrent runs spins up `threads`
   // sweep workers. At most min(jobs, replications) runs are ever in flight,
@@ -175,75 +299,161 @@ int main(int argc, char** argv) {
   cfg.queue.threads = threads;
   if (duration > 0.0) cfg.duration_s = duration;
 
-  if (replications > 1) {
-    // Batch mode: per-seed replication fleet through the experiment runner.
-    const scenario::ReplicationSummary s =
-        scenario::run_replications(cfg, replications, jobs, allow_oversubscribe);
+  if (incident_at >= 0.0) {
+    // Canned mixed incident starting at T, sized so every piece fires on any
+    // grid: a lane closure to 30% capacity on the top-right junction's north
+    // approach with restoration, dead detectors at the top-left junction, and
+    // a controller outage with recovery at the center junction.
+    const double t0 = incident_at;
+    faults.capacity.push_back(
+        {{0, cols - 1, net::Side::North}, t0, t0 + 300.0, 0.3});
+    faults.sensors.push_back(
+        {{0, 0}, t0, t0 + 120.0, core::SensorFaultKind::Dropout, 0, 0});
+    faults.controllers.push_back({{rows / 2, cols / 2}, t0, t0 + 180.0});
+  }
+  cfg.faults = faults;
+  cfg.guard = guard;
+
+  try {
+    if (replications > 1) {
+      // Batch mode: per-seed replication fleet through the experiment runner,
+      // with per-run statuses — a failing or deadline-hitting seed never
+      // takes its siblings' results down with it.
+      exp::ExperimentRunner runner({.jobs = jobs,
+                                    .allow_oversubscribe = allow_oversubscribe,
+                                    .tick_budget = tick_budget,
+                                    .retries = retries});
+      const std::vector<exp::RunStatus> statuses =
+          runner.run_statuses(exp::replication_configs(cfg, replications));
+      std::printf(
+          "pattern=%s controller=%s simulator=%s grid=%dx%d duration=%.0fs "
+          "replications=%d jobs=%d\n",
+          traffic::pattern_name(pattern).c_str(),
+          core::controller_type_name(controller).c_str(),
+          simulator == scenario::SimulatorKind::Micro ? "micro" : "queue", rows, cols,
+          cfg.duration_s, replications, jobs);
+
+      Accumulator acc;
+      std::size_t errors = 0;
+      std::size_t guard_violations = 0;
+      for (std::size_t i = 0; i < statuses.size(); ++i) {
+        const exp::RunStatus& s = statuses[i];
+        const unsigned long long run_seed = static_cast<unsigned long long>(seed + i);
+        switch (s.outcome) {
+          case exp::RunStatus::Outcome::Ok:
+            std::printf("seed=%llu avg_queuing_s=%.2f\n", run_seed,
+                        s.result.metrics.average_queuing_time_s());
+            acc.add(s.result.metrics.average_queuing_time_s());
+            guard_violations += s.result.guard.violations.size();
+            break;
+          case exp::RunStatus::Outcome::Timeout:
+            // Partial result: valid up to the truncated horizon, excluded
+            // from the summary (mixing horizons would skew the mean).
+            std::printf("seed=%llu status=timeout t=%.0fs avg_queuing_s=%.2f (partial)\n",
+                        run_seed, s.result.duration_s,
+                        s.result.metrics.average_queuing_time_s());
+            guard_violations += s.result.guard.violations.size();
+            break;
+          case exp::RunStatus::Outcome::Error:
+            std::printf("seed=%llu status=error attempts=%d error=%s\n", run_seed,
+                        s.attempts, s.error.c_str());
+            errors += 1;
+            break;
+        }
+      }
+      const int ok_count = static_cast<int>(acc.count());
+      if (ok_count > 0) {
+        const double ci =
+            ok_count > 1 ? stats::student_t_quantile(0.975, ok_count - 1) * acc.stddev() /
+                               std::sqrt(static_cast<double>(ok_count))
+                         : 0.0;
+        std::printf(
+            "ok=%d/%d mean_s=%.2f stddev_s=%.2f ci95_halfwidth_s=%.2f (Student-t, "
+            "df=%d)\n",
+            ok_count, replications, acc.mean(), acc.stddev(), ci, ok_count - 1);
+      } else {
+        std::printf("ok=0/%d (no completed runs to summarize)\n", replications);
+      }
+      if (guard.enabled) {
+        std::printf("guard_violations=%zu\n", guard_violations);
+      }
+      if (!csv_prefix.empty()) {
+        std::ofstream out(csv_prefix + "_replications.csv");
+        CsvWriter w(out);
+        w.row({"seed", "status", "avg_queuing_s"});
+        for (std::size_t i = 0; i < statuses.size(); ++i) {
+          const exp::RunStatus& s = statuses[i];
+          const char* status_name = s.outcome == exp::RunStatus::Outcome::Ok ? "ok"
+                                    : s.outcome == exp::RunStatus::Outcome::Timeout
+                                        ? "timeout"
+                                        : "error";
+          w.typed_row(static_cast<unsigned long long>(seed + i), status_name,
+                      s.ok() || s.outcome == exp::RunStatus::Outcome::Timeout
+                          ? s.result.metrics.average_queuing_time_s()
+                          : 0.0);
+        }
+        std::printf("csv written: %s_replications.csv\n", csv_prefix.c_str());
+      }
+      if (errors > 0) return 1;
+      if (guard.enabled && guard_violations > 0) return 3;
+      return 0;
+    }
+
+    // Watch the north approach of the top-right junction (Fig. 5's setup uses
+    // the east approach; north is present in every grid size). Single-run
+    // mode only: the replication summary never reads the series, so batch
+    // runs skip the per-tick sampling and storage.
+    cfg.watches.push_back(
+        {.row = 0, .col = cols - 1, .side = net::Side::North, .name = "watch"});
+
+    const stats::RunResult r = scenario::run_scenario(cfg);
+
     std::printf(
-        "pattern=%s controller=%s simulator=%s grid=%dx%d duration=%.0fs "
-        "replications=%d jobs=%d\n",
+        "pattern=%s controller=%s simulator=%s grid=%dx%d duration=%.0fs seed=%llu\n",
         traffic::pattern_name(pattern).c_str(),
         core::controller_type_name(controller).c_str(),
         simulator == scenario::SimulatorKind::Micro ? "micro" : "queue", rows, cols,
-        cfg.duration_s, replications, jobs);
-    for (std::size_t i = 0; i < s.avg_queuing_times_s.size(); ++i) {
-      std::printf("seed=%llu avg_queuing_s=%.2f\n",
-                  static_cast<unsigned long long>(seed + i), s.avg_queuing_times_s[i]);
+        r.duration_s, static_cast<unsigned long long>(seed));
+    std::printf("generated=%zu entered=%zu completed=%zu in_network_at_end=%zu\n",
+                r.metrics.generated, r.metrics.entered, r.metrics.completed,
+                r.metrics.in_network_at_end);
+    std::printf(
+        "avg_queuing_s=%.2f avg_travel_s=%.2f p50_queuing_s=%.2f p95_queuing_s=%.2f\n",
+        r.metrics.average_queuing_time_s(), r.metrics.average_travel_time_s(),
+        r.metrics.queuing_time_s.quantile(0.5), r.metrics.queuing_time_s.quantile(0.95));
+    if (guard.enabled) {
+      std::printf("guard_checks=%zu guard_violations=%zu\n", r.guard.checks,
+                  r.guard.violations.size());
+      for (std::size_t i = 0; i < r.guard.violations.size() && i < 3; ++i) {
+        std::printf("guard: %s\n", r.guard.violations[i].message.c_str());
+      }
     }
-    std::printf("mean_s=%.2f stddev_s=%.2f ci95_halfwidth_s=%.2f (Student-t, df=%d)\n",
-                s.mean_s, s.stddev_s, s.ci95_halfwidth_s, replications - 1);
+
     if (!csv_prefix.empty()) {
-      std::ofstream out(csv_prefix + "_replications.csv");
-      CsvWriter w(out);
-      w.row({"seed", "avg_queuing_s"});
-      for (std::size_t i = 0; i < s.avg_queuing_times_s.size(); ++i) {
-        w.typed_row(static_cast<unsigned long long>(seed + i), s.avg_queuing_times_s[i]);
+      {
+        std::ofstream out(csv_prefix + "_queue.csv");
+        CsvWriter w(out);
+        w.row({"time_s", "queued_vehicles"});
+        const auto& series = r.road_series.front();
+        for (std::size_t i = 0; i < series.size(); ++i) {
+          w.typed_row(series.times()[i], series.values()[i]);
+        }
       }
-      std::printf("csv written: %s_replications.csv\n", csv_prefix.c_str());
+      {
+        std::ofstream out(csv_prefix + "_phases.csv");
+        CsvWriter w(out);
+        w.row({"time_s", "phase"});
+        for (const auto& s : r.phase_traces[static_cast<std::size_t>(cols - 1)].samples()) {
+          w.typed_row(s.time, s.phase);
+        }
+      }
+      std::printf("csv written: %s_queue.csv, %s_phases.csv\n", csv_prefix.c_str(),
+                  csv_prefix.c_str());
     }
+    if (guard.enabled && !r.guard.violations.empty()) return 3;
     return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "abp_cli: error: %s\n", e.what());
+    return 1;
   }
-
-  // Watch the north approach of the top-right junction (Fig. 5's setup uses
-  // the east approach; north is present in every grid size). Single-run
-  // mode only: the replication summary never reads the series, so batch
-  // runs skip the per-tick sampling and storage.
-  cfg.watches.push_back({.row = 0, .col = cols - 1, .side = net::Side::North, .name = "watch"});
-
-  const stats::RunResult r = scenario::run_scenario(cfg);
-
-  std::printf("pattern=%s controller=%s simulator=%s grid=%dx%d duration=%.0fs seed=%llu\n",
-              traffic::pattern_name(pattern).c_str(),
-              core::controller_type_name(controller).c_str(),
-              simulator == scenario::SimulatorKind::Micro ? "micro" : "queue", rows, cols,
-              r.duration_s, static_cast<unsigned long long>(seed));
-  std::printf("generated=%zu entered=%zu completed=%zu in_network_at_end=%zu\n",
-              r.metrics.generated, r.metrics.entered, r.metrics.completed,
-              r.metrics.in_network_at_end);
-  std::printf("avg_queuing_s=%.2f avg_travel_s=%.2f p50_queuing_s=%.2f p95_queuing_s=%.2f\n",
-              r.metrics.average_queuing_time_s(), r.metrics.average_travel_time_s(),
-              r.metrics.queuing_time_s.quantile(0.5), r.metrics.queuing_time_s.quantile(0.95));
-
-  if (!csv_prefix.empty()) {
-    {
-      std::ofstream out(csv_prefix + "_queue.csv");
-      CsvWriter w(out);
-      w.row({"time_s", "queued_vehicles"});
-      const auto& series = r.road_series.front();
-      for (std::size_t i = 0; i < series.size(); ++i) {
-        w.typed_row(series.times()[i], series.values()[i]);
-      }
-    }
-    {
-      std::ofstream out(csv_prefix + "_phases.csv");
-      CsvWriter w(out);
-      w.row({"time_s", "phase"});
-      for (const auto& s : r.phase_traces[static_cast<std::size_t>(cols - 1)].samples()) {
-        w.typed_row(s.time, s.phase);
-      }
-    }
-    std::printf("csv written: %s_queue.csv, %s_phases.csv\n", csv_prefix.c_str(),
-                csv_prefix.c_str());
-  }
-  return 0;
 }

@@ -40,6 +40,8 @@ void MicroSim::build_runtime() {
   for (std::size_t r = 0; r < net_.roads().size(); ++r) {
     road_streams_.emplace_back(seed_, static_cast<std::uint64_t>(r));
   }
+  road_capacity_.reserve(net_.roads().size());
+  for (const net::Road& road : net_.roads()) road_capacity_.push_back(road.capacity);
 
   for (const net::Road& road : net_.roads()) {
     RoadRt& rt = roads_[road.id.index()];
@@ -100,6 +102,10 @@ int MicroSim::lane_count(LinkId link) const {
 }
 
 int MicroSim::road_occupancy(RoadId road) const { return roads_[road.index()].occupancy; }
+
+void MicroSim::set_road_capacity(RoadId road, int capacity) {
+  road_capacity_[road.index()] = std::max(0, capacity);
+}
 
 int MicroSim::queued_on_road(RoadId road) const {
   int total = 0;
@@ -271,7 +277,7 @@ void MicroSim::admit_spawns() {
   }
   for (RoadId entry : net_.entry_roads()) {
     RoadRt& rt = roads_[entry.index()];
-    const int capacity = net_.road(entry).capacity;
+    const int capacity = road_capacity_[entry.index()];
     // Per-lane FIFO admission: dedicated turning lanes run the full road
     // length, so a vehicle waiting for a full lane does not physically block
     // vehicles headed for the other lanes. Order is preserved within each
@@ -335,7 +341,7 @@ bool MicroSim::try_grant(VehicleId vid, LinkId link) {
   const net::Link& l = net_.link(link);
   const RoadId to_road = l.to_road;
   RoadRt& target = roads_[to_road.index()];
-  if (target.occupancy >= net_.road(to_road).capacity) return false;
+  if (target.occupancy >= road_capacity_[to_road.index()]) return false;
 
   int target_lane = 0;
   const std::size_t next = m.next_turn + 1;

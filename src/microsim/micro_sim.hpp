@@ -88,6 +88,18 @@ class MicroSim {
 
   [[nodiscard]] double now() const noexcept { return now_; }
 
+  // Capacity-override hook for incident injection (sim adapter): caps the
+  // number of vehicles *admitted* onto the road from now on. Vehicles already
+  // on the road drain normally; occupancy above the new value just blocks
+  // admission until it has drained, so occupancy never exceeds the design W.
+  // Observations keep reporting the design capacity — controllers know the
+  // road geometry, not the incident. Called only between ticks, from the
+  // sequential phase.
+  void set_road_capacity(RoadId road, int capacity);
+  [[nodiscard]] int road_capacity(RoadId road) const {
+    return road_capacity_[road.index()];
+  }
+
   // --- Introspection hooks used by tests ---
   // Vehicles on the dedicated lane feeding `link`.
   [[nodiscard]] int lane_count(LinkId link) const;
@@ -241,6 +253,10 @@ class MicroSim {
   std::uint64_t seed_ = 0;
   // One counter-based dawdling stream per road (stream id = road index).
   std::vector<StreamRng> road_streams_;
+  // Effective admission capacity per road: the design W from the network,
+  // overridden by set_road_capacity() during incidents. Admission and grant
+  // checks read this; observations read the design capacity from net_.
+  std::vector<int> road_capacity_;
   // Sweep-phase worker pool, sized config_.threads (inline when 1).
   std::unique_ptr<ThreadPool> pool_;
   // One lane-kernel scratch per sweep work unit (= pool participant): the

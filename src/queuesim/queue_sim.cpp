@@ -56,6 +56,8 @@ QueueSim::QueueSim(const net::Network& network, QueueSimConfig config,
   displayed_.assign(net_.intersections().size(), net::kTransitionPhase);
   entry_buffer_.resize(net_.roads().size());
   road_queued_.assign(net_.roads().size(), 0);
+  road_capacity_.reserve(net_.roads().size());
+  for (const net::Road& road : net_.roads()) road_capacity_.push_back(road.capacity);
   serve_count_.assign(net_.links().size(), 0);
   service_from_.assign(net_.roads().size(), 0);
   staged_.resize(net_.links().size());
@@ -82,6 +84,10 @@ net::PhaseIndex QueueSim::displayed_phase(IntersectionId node) const {
 int QueueSim::vehicles_in_network() const { return in_network_count_; }
 
 int QueueSim::queued_on_road(RoadId road) const { return road_queued_[road.index()]; }
+
+void QueueSim::set_road_capacity(RoadId road, int capacity) {
+  road_capacity_[road.index()] = std::max(0, capacity);
+}
 
 double QueueSim::link_credit(LinkId link) const { return links_[link.index()].credit; }
 
@@ -169,7 +175,7 @@ void QueueSim::admit_spawns(double from, double to) {
   for (RoadId entry : net_.entry_roads()) {
     auto& buffer = entry_buffer_[entry.index()];
     RoadState& road = roads_[entry.index()];
-    const int capacity = net_.road(entry).capacity;
+    const int capacity = road_capacity_[entry.index()];
     while (!buffer.empty() && road.occupancy < capacity) {
       const VehicleId vid = buffer.front();
       buffer.pop_front();
@@ -201,7 +207,7 @@ void QueueSim::arbitrate_service() {
       // metric) match bit for bit.
       const int served = run_serve_credit(
           lq.credit, lq.queue.size(), link.service_rate * config_.step_s,
-          roads_[link.to_road.index()].occupancy, net_.road(link.to_road).capacity,
+          roads_[link.to_road.index()].occupancy, road_capacity_[link.to_road.index()],
           road_queued_[link.from_road.index()], roads_[link.from_road.index()].occupancy,
           [](int) {});
       if (served > 0) {
@@ -290,7 +296,7 @@ void QueueSim::arbitrate_and_serve(double serve_time) {
       // is deferred until the first vehicle actually serves.
       double arrive = 0.0;
       run_serve_credit(lq.credit, lq.queue.size(), link.service_rate * config_.step_s,
-                       downstream.occupancy, net_.road(link.to_road).capacity,
+                       downstream.occupancy, road_capacity_[link.to_road.index()],
                        road_queued_[link.from_road.index()],
                        roads_[link.from_road.index()].occupancy, [&](int k) {
                          if (k == 0) {

@@ -83,6 +83,19 @@ class QueueSim {
   stats::RunResult finish(double duration_s);
 
   [[nodiscard]] double now() const noexcept { return now_; }
+
+  // Capacity-override hook for incident injection (sim adapter): caps
+  // admission and service *into* the road from now on. Vehicles already on
+  // the road drain normally; occupancy above the new value blocks inflow
+  // until it has drained, so occupancy never exceeds the design W.
+  // Observations keep reporting the design capacity — controllers know the
+  // road geometry, not the incident. Called only between ticks, from the
+  // sequential phase.
+  void set_road_capacity(RoadId road, int capacity);
+  [[nodiscard]] int road_capacity(RoadId road) const {
+    return road_capacity_[road.index()];
+  }
+
   // Vehicles currently queued for a movement (test hook).
   [[nodiscard]] int link_queue(LinkId link) const;
   // All vehicles currently on a road: in transit + queued (test hook).
@@ -194,6 +207,11 @@ class QueueSim {
   // Vehicles queued at the stop line of each road (sum over its movement
   // queues), maintained incrementally so observe() is O(1) per reading.
   std::vector<int> road_queued_;
+  // Effective inflow capacity per road: the design W from the network,
+  // overridden by set_road_capacity() during incidents. Admission and the
+  // serve-credit downstream check read this; observations read the design
+  // capacity from net_.
+  std::vector<int> road_capacity_;
   // Spawns waiting for space on their (full) entry road, FIFO per road.
   std::vector<VecQueue<VehicleId>> entry_buffer_;
   // Reused per-tick spawn buffer filled by DemandGenerator::poll_into.

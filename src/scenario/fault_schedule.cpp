@@ -1,0 +1,52 @@
+#include "src/scenario/fault_schedule.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace abp::scenario {
+namespace {
+
+void check_window(double start_s, double end_s, const char* what) {
+  if (start_s < 0.0) {
+    throw std::invalid_argument(std::string(what) + ": start time must be non-negative");
+  }
+  if (!(end_s > start_s)) {  // also rejects NaN
+    throw std::invalid_argument(std::string(what) + ": end time must exceed start time");
+  }
+}
+
+}  // namespace
+
+void validate_or_throw(const FaultSchedule& schedule) {
+  for (const CapacityFault& f : schedule.capacity) {
+    check_window(f.start_s, f.end_s, "capacity fault");
+    if (!(f.capacity_factor >= 0.0 && f.capacity_factor <= 1.0)) {
+      throw std::invalid_argument("capacity fault: factor must be in [0, 1]");
+    }
+  }
+  for (const SensorFault& f : schedule.sensors) {
+    check_window(f.start_s, f.end_s, "sensor fault");
+    if (f.noise_magnitude < 0) {
+      throw std::invalid_argument("sensor fault: noise magnitude must be non-negative");
+    }
+  }
+  for (const ControllerFault& f : schedule.controllers) {
+    check_window(f.fail_s, f.recover_s, "controller fault");
+  }
+  // Overlapping sensor windows at one junction would make "which fault is
+  // active" order-dependent; reject them outright.
+  for (std::size_t i = 0; i < schedule.sensors.size(); ++i) {
+    for (std::size_t j = i + 1; j < schedule.sensors.size(); ++j) {
+      const SensorFault& a = schedule.sensors[i];
+      const SensorFault& b = schedule.sensors[j];
+      if (a.node.row != b.node.row || a.node.col != b.node.col) continue;
+      if (a.start_s < b.end_s && b.start_s < a.end_s) {
+        throw std::invalid_argument(
+            "sensor faults overlap at junction (" + std::to_string(a.node.row) + ", " +
+            std::to_string(a.node.col) + ")");
+      }
+    }
+  }
+}
+
+}  // namespace abp::scenario

@@ -17,6 +17,7 @@
 #include "src/microsim/params.hpp"
 #include "src/net/grid.hpp"
 #include "src/queuesim/queue_sim.hpp"
+#include "src/scenario/fault_schedule.hpp"
 #include "src/traffic/demand.hpp"
 
 namespace abp::scenario {
@@ -50,6 +51,11 @@ struct ScenarioConfig {
   microsim::MicroSimConfig micro;
   queuesim::QueueSimConfig queue;
   std::vector<WatchSpec> watches;
+  // Timed incidents executed during the run (empty = fault-free, zero
+  // hot-path cost). Validated by make_simulator(); see fault_schedule.hpp.
+  FaultSchedule faults;
+  // Opt-in runtime invariant guard (sim::SimulatorGuard).
+  GuardConfig guard;
 };
 
 // Tick-level parallelism the config's *selected* backend will use: the

@@ -1,16 +1,27 @@
 #include "src/sim/simulator.hpp"
 
+#include <algorithm>
+#include <limits>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "src/core/factory.hpp"
+#include "src/core/fault_controller.hpp"
 #include "src/microsim/micro_sim.hpp"
 #include "src/net/grid.hpp"
 #include "src/net/validation.hpp"
 #include "src/queuesim/queue_sim.hpp"
+#include "src/sim/simulator_guard.hpp"
 
 namespace abp::sim {
 namespace {
+
+// Seed salt for the fault decorators' noise streams: keeps them disjoint
+// from the demand streams (config.seed) and the micro dawdle/sensor streams
+// (config.seed + 0x5157), whatever junction index is used as the stream id.
+constexpr std::uint64_t kFaultSeedSalt = 0xFA17ULL;
 
 // Builds and validates the grid before any backend state references it.
 net::Network build_validated(const net::GridConfig& grid) {
@@ -19,12 +30,105 @@ net::Network build_validated(const net::GridConfig& grid) {
   return network;
 }
 
-RoadId resolve_watch(const net::Network& network, const scenario::WatchSpec& w) {
-  const auto node = network.at_grid(w.row, w.col);
-  if (!node) throw std::invalid_argument("watch references a junction outside the grid");
-  const RoadId road = network.intersection(*node).incoming_on(w.side);
-  if (!road.valid()) throw std::invalid_argument("watched junction has no such approach");
+IntersectionId resolve_node(const net::Network& network, int row, int col,
+                            const char* what) {
+  const auto node = network.at_grid(row, col);
+  if (!node) {
+    throw std::invalid_argument(std::string(what) +
+                                " references a junction outside the grid");
+  }
+  return *node;
+}
+
+RoadId resolve_approach(const net::Network& network, int row, int col, net::Side side,
+                        const char* what) {
+  const IntersectionId node = resolve_node(network, row, col, what);
+  const RoadId road = network.intersection(node).incoming_on(side);
+  if (!road.valid()) {
+    throw std::invalid_argument(std::string(what) + " names a missing approach");
+  }
   return road;
+}
+
+RoadId resolve_watch(const net::Network& network, const scenario::WatchSpec& w) {
+  return resolve_approach(network, w.row, w.col, w.side, "watch");
+}
+
+// One controller per intersection, with the junctions named by the fault
+// schedule wrapped in a core::FaultInjectedController. Junctions without
+// faults keep their plain controller — a run with an empty schedule builds
+// exactly the controller set it always has.
+std::vector<core::ControllerPtr> make_run_controllers(
+    const scenario::ScenarioConfig& config, const net::Network& network) {
+  std::vector<core::ControllerPtr> controllers =
+      core::make_controllers(config.controller, network);
+  if (config.faults.sensors.empty() && config.faults.controllers.empty()) {
+    return controllers;
+  }
+
+  std::vector<std::vector<core::SensorFaultWindow>> sensor_windows(controllers.size());
+  std::vector<std::vector<core::ControllerFaultWindow>> failure_windows(
+      controllers.size());
+  for (const scenario::SensorFault& f : config.faults.sensors) {
+    const IntersectionId node =
+        resolve_node(network, f.node.row, f.node.col, "sensor fault");
+    sensor_windows[node.index()].push_back(
+        {f.start_s, f.end_s, f.kind, f.bias, f.noise_magnitude});
+  }
+  for (const scenario::ControllerFault& f : config.faults.controllers) {
+    const IntersectionId node =
+        resolve_node(network, f.node.row, f.node.col, "controller fault");
+    failure_windows[node.index()].push_back({f.fail_s, f.recover_s});
+  }
+
+  for (const net::Intersection& node : network.intersections()) {
+    const std::size_t i = node.id.index();
+    if (sensor_windows[i].empty() && failure_windows[i].empty()) continue;
+    // The degraded-mode fallback is classical pre-timed control, built from
+    // the same spec's fixed-time parameters.
+    core::ControllerSpec fallback_spec;
+    fallback_spec.type = core::ControllerType::FixedTime;
+    fallback_spec.fixed_time = config.controller.fixed_time;
+    controllers[i] = std::make_unique<core::FaultInjectedController>(
+        std::move(controllers[i]),
+        core::make_controller(fallback_spec, core::make_plan(network, node)),
+        std::move(failure_windows[i]), std::move(sensor_windows[i]),
+        config.seed + kFaultSeedSalt, static_cast<std::uint64_t>(i));
+  }
+  return controllers;
+}
+
+// A capacity change the adapter applies once sim time reaches time_s.
+struct CapacityEvent {
+  double time_s = 0.0;
+  RoadId road;
+  int capacity = 0;
+};
+
+// Expands the schedule's capacity faults into a time-sorted event list:
+// a drop to floor(factor * W) at start_s, and (for finite windows) a
+// restoration to the design W at end_s. Stable sort: simultaneous events
+// apply in schedule order, so "last writer wins" is well defined and
+// deterministic.
+std::vector<CapacityEvent> build_capacity_events(const scenario::ScenarioConfig& config,
+                                                 const net::Network& network) {
+  std::vector<CapacityEvent> events;
+  events.reserve(config.faults.capacity.size() * 2);
+  for (const scenario::CapacityFault& f : config.faults.capacity) {
+    const RoadId road = resolve_approach(network, f.road.row, f.road.col, f.road.side,
+                                         "capacity fault");
+    const int design = network.road(road).capacity;
+    const int reduced = static_cast<int>(f.capacity_factor * design);
+    events.push_back({f.start_s, road, reduced});
+    if (f.end_s < std::numeric_limits<double>::infinity()) {
+      events.push_back({f.end_s, road, design});
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const CapacityEvent& a, const CapacityEvent& b) {
+                     return a.time_s < b.time_s;
+                   });
+  return events;
 }
 
 // Per-backend construction (the only thing the two backends don't share):
@@ -32,23 +136,22 @@ RoadId resolve_watch(const net::Network& network, const scenario::WatchSpec& w) 
 // in place — the backends hold reference members and are not movable.
 template <typename Backend>
 Backend construct_backend(const scenario::ScenarioConfig& config,
-                          const net::Network& network, traffic::DemandGenerator& demand);
+                          const net::Network& network, traffic::DemandGenerator& demand,
+                          std::vector<core::ControllerPtr> controllers);
 
 template <>
 microsim::MicroSim construct_backend<microsim::MicroSim>(
     const scenario::ScenarioConfig& config, const net::Network& network,
-    traffic::DemandGenerator& demand) {
-  return microsim::MicroSim(network, config.micro,
-                            core::make_controllers(config.controller, network), demand,
+    traffic::DemandGenerator& demand, std::vector<core::ControllerPtr> controllers) {
+  return microsim::MicroSim(network, config.micro, std::move(controllers), demand,
                             config.seed + 0x5157u);
 }
 
 template <>
 queuesim::QueueSim construct_backend<queuesim::QueueSim>(
     const scenario::ScenarioConfig& config, const net::Network& network,
-    traffic::DemandGenerator& demand) {
-  return queuesim::QueueSim(network, config.queue,
-                            core::make_controllers(config.controller, network), demand);
+    traffic::DemandGenerator& demand, std::vector<core::ControllerPtr> controllers) {
+  return queuesim::QueueSim(network, config.queue, std::move(controllers), demand);
 }
 
 // Owns the full object graph of one run: network, demand, backend. Members
@@ -56,19 +159,71 @@ queuesim::QueueSim construct_backend<queuesim::QueueSim>(
 // network and the demand generator, so it is constructed last and destroyed
 // first. Both backends expose the same member names for the interface
 // surface, so one adapter covers them.
+//
+// Fault execution lives here, not in the backends: run_until() advances the
+// backend in slices bounded by the next due capacity event / guard check,
+// applying each through the backend's sequential-phase hooks. Slicing is
+// free of behavioral effect — run_until(a); run_until(b) is the same tick
+// sequence as run_until(b) — so a run whose schedule never fires is
+// bit-identical to a fault-free run, and when the schedule is empty and the
+// guard is off the adapter forwards straight to the backend (zero cost).
 template <typename Backend>
 class BackendSimulator final : public Simulator {
  public:
   explicit BackendSimulator(const scenario::ScenarioConfig& config)
       : network_(build_validated(config.grid)),
         demand_(network_, config.demand, config.seed),
-        sim_(construct_backend<Backend>(config, network_, demand_)) {}
+        sim_(construct_backend<Backend>(config, network_, demand_,
+                                        make_run_controllers(config, network_))),
+        events_(build_capacity_events(config, network_)) {
+    if (config.guard.enabled) {
+      if (!(config.guard.interval_s > 0.0)) {
+        throw std::invalid_argument("guard interval must be positive");
+      }
+      guard_.emplace(config.guard.policy);
+      guard_interval_s_ = config.guard.interval_s;
+      next_guard_s_ = guard_interval_s_;
+    }
+    plain_ = events_.empty() && !guard_;
+  }
 
   void watch_road(RoadId road, std::string series_name) override {
     sim_.watch_road(road, std::move(series_name));
   }
-  stats::RunResult& run_until(double until_s) override { return sim_.run_until(until_s); }
-  stats::RunResult finish(double duration_s) override { return sim_.finish(duration_s); }
+
+  stats::RunResult& run_until(double until_s) override {
+    if (plain_) return sim_.run_until(until_s);
+    for (;;) {
+      double target = until_s;
+      if (next_event_ < events_.size()) {
+        target = std::min(target, events_[next_event_].time_s);
+      }
+      if (guard_) target = std::min(target, next_guard_s_);
+      stats::RunResult& result = sim_.run_until(target);
+      const double now_s = sim_.now();
+      while (next_event_ < events_.size() && events_[next_event_].time_s <= now_s) {
+        sim_.set_road_capacity(events_[next_event_].road, events_[next_event_].capacity);
+        ++next_event_;
+      }
+      if (guard_ && now_s >= next_guard_s_) {
+        guard_->check(*this, result.metrics, result.guard);
+        // Step strictly past `now`: a horizon jump larger than the interval
+        // triggers one check, not a burst of catch-up checks.
+        while (next_guard_s_ <= now_s) next_guard_s_ += guard_interval_s_;
+      }
+      if (now_s >= until_s) return result;
+    }
+  }
+
+  stats::RunResult finish(double duration_s) override {
+    if (!plain_) run_until(duration_s);
+    stats::RunResult result = sim_.finish(duration_s);
+    // Final check on the closed books: end-of-run accounting (records closed
+    // by finish) must still conserve vehicles.
+    if (guard_) guard_->check(*this, result.metrics, result.guard);
+    return result;
+  }
+
   [[nodiscard]] double now() const noexcept override { return sim_.now(); }
   [[nodiscard]] int vehicles_in_network() const override {
     return sim_.vehicles_in_network();
@@ -88,11 +243,21 @@ class BackendSimulator final : public Simulator {
   net::Network network_;
   traffic::DemandGenerator demand_;
   Backend sim_;
+  // Time-sorted capacity events; next_event_ is the first not yet applied.
+  std::vector<CapacityEvent> events_;
+  std::size_t next_event_ = 0;
+  std::optional<SimulatorGuard> guard_;
+  double guard_interval_s_ = 0.0;
+  double next_guard_s_ = 0.0;
+  // True when there is nothing to inject or check: run_until forwards
+  // directly to the backend.
+  bool plain_ = true;
 };
 
 }  // namespace
 
 std::unique_ptr<Simulator> make_simulator(const scenario::ScenarioConfig& config) {
+  scenario::validate_or_throw(config.faults);
   std::unique_ptr<Simulator> sim;
   if (config.simulator == scenario::SimulatorKind::Micro) {
     sim = std::make_unique<BackendSimulator<microsim::MicroSim>>(config);

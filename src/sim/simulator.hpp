@@ -59,10 +59,14 @@ class Simulator {
 };
 
 // Builds the configured backend with everything it needs — grid network
-// (validated), demand generator, one controller per intersection, resolved
-// watches — all owned by the returned object. Throws std::invalid_argument
-// on unresolvable watches and std::runtime_error on network validation
-// failures, like run_scenario() always has.
+// (validated), demand generator, one controller per intersection (wrapped in
+// core::FaultInjectedController where the fault schedule names the
+// junction), resolved watches, capacity-fault events and the opt-in runtime
+// invariant guard — all owned by the returned object. Throws
+// std::invalid_argument on unresolvable watches / fault references and on
+// invalid fault schedules or guard configs, and std::runtime_error on
+// network validation failures, like run_scenario() always has. See
+// docs/ROBUSTNESS.md for the fault-execution model.
 [[nodiscard]] std::unique_ptr<Simulator> make_simulator(
     const scenario::ScenarioConfig& config);
 

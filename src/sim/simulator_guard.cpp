@@ -1,0 +1,63 @@
+#include "src/sim/simulator_guard.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace abp::sim {
+
+void SimulatorGuard::handle(double now_s, std::string message,
+                            stats::GuardReport& report) const {
+  message = "invariant violation at t=" + std::to_string(now_s) + ": " + std::move(message);
+  switch (policy_) {
+    case scenario::GuardPolicy::Throw:
+      throw GuardViolationError(message);
+    case scenario::GuardPolicy::Record:
+      report.violations.push_back({now_s, std::move(message)});
+      return;
+    case scenario::GuardPolicy::Abort:
+      std::fprintf(stderr, "SimulatorGuard: %s\n", message.c_str());
+      std::abort();
+  }
+}
+
+void SimulatorGuard::check(const Simulator& simulator,
+                           const stats::NetworkMetrics& metrics,
+                           stats::GuardReport& report) const {
+  report.checks += 1;
+  const double now_s = simulator.now();
+
+  if (metrics.entered > metrics.generated) {
+    handle(now_s,
+           "admission outran generation (entered=" + std::to_string(metrics.entered) +
+               " > generated=" + std::to_string(metrics.generated) + ")",
+           report);
+  }
+  const long long in_network = simulator.vehicles_in_network();
+  const long long balance =
+      static_cast<long long>(metrics.completed) + in_network;
+  if (static_cast<long long>(metrics.entered) != balance) {
+    handle(now_s,
+           "conservation broken (entered=" + std::to_string(metrics.entered) +
+               " != completed=" + std::to_string(metrics.completed) +
+               " + in_network=" + std::to_string(in_network) + ")",
+           report);
+  }
+  for (const net::Road& road : simulator.network().roads()) {
+    const int occ = simulator.road_occupancy(road.id);
+    if (occ < 0 || occ > road.capacity) {
+      handle(now_s,
+             "occupancy of " + road.name + " out of [0, W] (occ=" + std::to_string(occ) +
+                 ", W=" + std::to_string(road.capacity) + ")",
+             report);
+    }
+    const int queued = simulator.queued_on_road(road.id);
+    if (queued < 0 || queued > occ) {
+      handle(now_s,
+             "queue of " + road.name + " out of [0, occupancy] (queued=" +
+                 std::to_string(queued) + ", occ=" + std::to_string(occ) + ")",
+             report);
+    }
+  }
+}
+
+}  // namespace abp::sim

@@ -1,6 +1,7 @@
 // Common result bundle produced by both simulators.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "src/stats/metrics.hpp"
@@ -8,6 +9,19 @@
 #include "src/stats/timeseries.hpp"
 
 namespace abp::stats {
+
+// One invariant violation caught by the runtime guard (sim::SimulatorGuard
+// under GuardPolicy::Record).
+struct GuardViolation {
+  double time_s = 0.0;
+  std::string message;
+};
+
+struct GuardReport {
+  // Guard invocations over the run; 0 when the guard was disabled.
+  std::size_t checks = 0;
+  std::vector<GuardViolation> violations;
+};
 
 struct RunResult {
   NetworkMetrics metrics;
@@ -21,6 +35,9 @@ struct RunResult {
   TimeSeries in_network_series{"in_network"};
   // Wall-clock-independent simulated duration of the run.
   double duration_s = 0.0;
+  // Runtime invariant-guard report (empty unless ScenarioConfig::guard is
+  // enabled; violations only under GuardPolicy::Record).
+  GuardReport guard;
 };
 
 }  // namespace abp::stats

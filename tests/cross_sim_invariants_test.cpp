@@ -128,6 +128,35 @@ TEST(CrossSimInvariants, UnifiedInterfaceEnforcesSameInvariantsOnBothBackends) {
   }
 }
 
+TEST(CrossSimInvariants, InvariantsHoldUnderIncidentSchedule) {
+  // The full incident repertoire — a 70% capacity drop with restoration,
+  // a detector dropout, a noise burst, stuck sensors, and a controller
+  // outage that degrades one junction to fixed-time — must not be able to
+  // break conservation or the capacity bounds at any tick, on either
+  // backend. Capacity faults restrict *admission* only, so occupancy keeps
+  // respecting the design W even while the effective capacity is lower.
+  for (const scenario::SimulatorKind kind :
+       {scenario::SimulatorKind::Queue, scenario::SimulatorKind::Micro}) {
+    SCOPED_TRACE(kind == scenario::SimulatorKind::Queue ? "queue" : "micro");
+    scenario::ScenarioConfig cfg = scenario::paper_scenario(
+        traffic::PatternKind::II, core::ControllerType::UtilBp);
+    cfg.grid.rows = 2;
+    cfg.grid.cols = 2;
+    cfg.seed = kSeed;
+    cfg.simulator = kind;
+    cfg.faults.capacity.push_back({{0, 0, net::Side::North}, 60.0, 240.0, 0.3});
+    cfg.faults.sensors.push_back(
+        {{0, 1}, 50.0, 150.0, core::SensorFaultKind::Dropout, 0, 0});
+    cfg.faults.sensors.push_back(
+        {{0, 1}, 200.0, 300.0, core::SensorFaultKind::Noise, 2, 3});
+    cfg.faults.sensors.push_back(
+        {{1, 0}, 80.0, 320.0, core::SensorFaultKind::StuckAt, 0, 0});
+    cfg.faults.controllers.push_back({{1, 1}, 100.0, 250.0});
+    const std::unique_ptr<sim::Simulator> simulator = sim::make_simulator(cfg);
+    check_invariants_every_tick(*simulator, simulator->network(), 400.0);
+  }
+}
+
 TEST(CrossSimInvariants, QueueSimInvariantsHoldThreaded) {
   // The same per-tick invariants, run through the queue sim's parallel
   // service sweep — catches partitioning bugs that happen to cancel out in

@@ -160,6 +160,109 @@ TEST(ExperimentRunner, MaxSafeJobsRespectsTickThreads) {
   EXPECT_GE(exp::max_safe_jobs(2 * static_cast<int>(hc)), 1);
 }
 
+// --- Failure isolation: per-run statuses, retries, deterministic timeouts ---
+
+scenario::ScenarioConfig quick_queue_config(std::uint64_t seed, double duration_s) {
+  scenario::ScenarioConfig cfg =
+      scenario::paper_scenario(traffic::PatternKind::II, core::ControllerType::UtilBp);
+  cfg.grid.rows = 2;
+  cfg.grid.cols = 2;
+  cfg.simulator = scenario::SimulatorKind::Queue;
+  cfg.seed = seed;
+  cfg.duration_s = duration_s;
+  return cfg;
+}
+
+// A config whose construction throws: the watch names a junction outside the
+// grid, so make_simulator raises std::invalid_argument.
+scenario::ScenarioConfig throwing_config() {
+  scenario::ScenarioConfig cfg = quick_queue_config(7, 60.0);
+  cfg.watches.push_back({.row = 99, .col = 99, .side = net::Side::East, .name = "bad"});
+  return cfg;
+}
+
+// The acceptance scenario for PR 6's hardened runner: a batch containing one
+// healthy run, one throwing run and one deadline-exceeding run completes all
+// siblings and reports a per-run status for each, in batch order.
+TEST(ExperimentRunner, MixedBatchIsolatesFailuresAndReportsPerRunStatuses) {
+  // Queue step is 1 s, so a 300-tick budget = 300 simulated seconds: the
+  // 120 s run fits, the 900 s run is truncated.
+  const std::vector<scenario::ScenarioConfig> configs = {
+      quick_queue_config(11, 120.0), throwing_config(), quick_queue_config(13, 900.0)};
+
+  for (int jobs : {1, 3}) {
+    SCOPED_TRACE(jobs);
+    exp::ExperimentRunner runner(
+        {.jobs = jobs, .allow_oversubscribe = true, .tick_budget = 300});
+    const std::vector<exp::RunStatus> statuses = runner.run_statuses(configs);
+    ASSERT_EQ(statuses.size(), 3u);
+
+    EXPECT_EQ(statuses[0].outcome, exp::RunStatus::Outcome::Ok);
+    EXPECT_TRUE(statuses[0].ok());
+    EXPECT_GT(statuses[0].result.metrics.completed, 0u);
+    EXPECT_TRUE(statuses[0].error.empty());
+
+    EXPECT_EQ(statuses[1].outcome, exp::RunStatus::Outcome::Error);
+    EXPECT_FALSE(statuses[1].error.empty());
+    ASSERT_TRUE(statuses[1].exception != nullptr);
+    // The captured exception keeps its original type.
+    EXPECT_THROW(std::rethrow_exception(statuses[1].exception), std::invalid_argument);
+
+    EXPECT_EQ(statuses[2].outcome, exp::RunStatus::Outcome::Timeout);
+    EXPECT_NE(statuses[2].error.find("tick budget"), std::string::npos);
+    // The partial result up to the budget is kept, not discarded.
+    EXPECT_GT(statuses[2].result.metrics.entered, 0u);
+  }
+}
+
+TEST(ExperimentRunner, RunRethrowsFirstBatchOrderErrorWithOriginalType) {
+  exp::ExperimentRunner runner({.jobs = 2, .allow_oversubscribe = true});
+  const std::vector<scenario::ScenarioConfig> configs = {quick_queue_config(11, 60.0),
+                                                         throwing_config()};
+  EXPECT_THROW((void)runner.run(configs), std::invalid_argument);
+  // A timeout under the all-or-nothing contract is a failure too.
+  exp::ExperimentRunner strict(
+      {.jobs = 1, .allow_oversubscribe = true, .tick_budget = 10});
+  EXPECT_THROW((void)strict.run({quick_queue_config(11, 60.0)}), std::runtime_error);
+}
+
+// The tick budget is a *simulated*-time deadline, so a Timeout's partial
+// result is bit-identical to an Ok run configured with the truncated
+// duration — timeouts are deterministic, reproducible artifacts.
+TEST(ExperimentRunner, TimeoutPartialResultMatchesTruncatedRunBitForBit) {
+  exp::ExperimentRunner runner({.jobs = 1, .tick_budget = 300});
+  const std::vector<exp::RunStatus> statuses =
+      runner.run_statuses({quick_queue_config(21, 900.0)});
+  ASSERT_EQ(statuses.size(), 1u);
+  ASSERT_EQ(statuses[0].outcome, exp::RunStatus::Outcome::Timeout);
+
+  const stats::RunResult truncated = scenario::run_scenario(quick_queue_config(21, 300.0));
+  expect_identical(statuses[0].result.metrics, truncated.metrics);
+}
+
+TEST(ExperimentRunner, RetriesApplyToErrorsButNeverToTimeouts) {
+  exp::ExperimentRunner runner(
+      {.jobs = 1, .tick_budget = 30, .retries = 2});
+  const std::vector<exp::RunStatus> statuses = runner.run_statuses(
+      {throwing_config(), quick_queue_config(11, 900.0), quick_queue_config(12, 20.0)});
+  ASSERT_EQ(statuses.size(), 3u);
+  // Deterministic construction failure: all attempts consumed, still Error.
+  EXPECT_EQ(statuses[0].outcome, exp::RunStatus::Outcome::Error);
+  EXPECT_EQ(statuses[0].attempts, 3);
+  // Timeout is a deterministic truncation — retrying it would just burn the
+  // budget again, so it is reported on the first attempt.
+  EXPECT_EQ(statuses[1].outcome, exp::RunStatus::Outcome::Timeout);
+  EXPECT_EQ(statuses[1].attempts, 1);
+  // Healthy run: one attempt.
+  EXPECT_EQ(statuses[2].outcome, exp::RunStatus::Outcome::Ok);
+  EXPECT_EQ(statuses[2].attempts, 1);
+}
+
+TEST(ExperimentRunner, RejectsNegativeBudgetAndRetries) {
+  EXPECT_THROW(exp::ExperimentRunner({.tick_budget = -1}), std::invalid_argument);
+  EXPECT_THROW(exp::ExperimentRunner({.retries = -1}), std::invalid_argument);
+}
+
 TEST(ExperimentRunner, RunReplicationsMatchesSerialAndUsesStudentT) {
   scenario::ScenarioConfig cfg =
       scenario::paper_scenario(traffic::PatternKind::II, core::ControllerType::UtilBp);

@@ -1,0 +1,136 @@
+// SimulatorGuard unit tests: the guard's verdicts against a hand-controlled
+// fake simulator, one broken invariant at a time, under each policy.
+// (The Abort policy terminates the process by design and is exercised only
+// indirectly — its dispatch shares the handle() path tested here.)
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/net/grid.hpp"
+#include "src/sim/simulator_guard.hpp"
+
+namespace abp {
+namespace {
+
+// A simulator whose introspection hooks report whatever the test sets,
+// against a real 1x1 grid network (so the guard's road loop has real design
+// capacities to check against).
+class FakeSimulator final : public sim::Simulator {
+ public:
+  FakeSimulator() : net_(net::build_grid({.rows = 1, .cols = 1})) {}
+
+  void watch_road(RoadId, std::string) override {}
+  stats::RunResult& run_until(double) override { return result_; }
+  stats::RunResult finish(double) override { return result_; }
+  [[nodiscard]] double now() const noexcept override { return now_s; }
+  [[nodiscard]] int vehicles_in_network() const override { return in_network; }
+  [[nodiscard]] int road_occupancy(RoadId) const override { return occupancy; }
+  [[nodiscard]] int queued_on_road(RoadId) const override { return queued; }
+  [[nodiscard]] net::PhaseIndex displayed_phase(IntersectionId) const override {
+    return 0;
+  }
+  [[nodiscard]] const net::Network& network() const noexcept override { return net_; }
+
+  double now_s = 10.0;
+  int in_network = 0;
+  int occupancy = 0;
+  int queued = 0;
+
+ private:
+  net::Network net_;
+  stats::RunResult result_;
+};
+
+stats::NetworkMetrics consistent_metrics(const FakeSimulator& sim) {
+  stats::NetworkMetrics m;
+  m.generated = 20;
+  m.entered = 15;
+  m.completed = 15 - static_cast<std::size_t>(sim.in_network);
+  return m;
+}
+
+TEST(SimulatorGuard, CleanStatePassesAndCountsChecks) {
+  FakeSimulator fake;
+  fake.in_network = 5;
+  fake.occupancy = 2;
+  fake.queued = 1;
+  sim::SimulatorGuard guard(scenario::GuardPolicy::Throw);
+  stats::GuardReport report;
+  EXPECT_NO_THROW(guard.check(fake, consistent_metrics(fake), report));
+  EXPECT_NO_THROW(guard.check(fake, consistent_metrics(fake), report));
+  EXPECT_EQ(report.checks, 2u);
+  EXPECT_TRUE(report.violations.empty());
+}
+
+TEST(SimulatorGuard, ThrowPolicyRaisesOnBrokenConservation) {
+  FakeSimulator fake;
+  fake.in_network = 3;
+  stats::NetworkMetrics m = consistent_metrics(fake);
+  m.completed += 1;  // entered != completed + in_network
+  sim::SimulatorGuard guard(scenario::GuardPolicy::Throw);
+  stats::GuardReport report;
+  EXPECT_THROW(guard.check(fake, m, report), sim::GuardViolationError);
+  EXPECT_EQ(report.checks, 1u);  // the check is counted even when it throws
+}
+
+TEST(SimulatorGuard, ThrowPolicyRaisesWhenAdmissionOutrunsGeneration) {
+  FakeSimulator fake;
+  stats::NetworkMetrics m = consistent_metrics(fake);
+  m.entered = m.generated + 1;
+  m.completed = m.entered;
+  sim::SimulatorGuard guard(scenario::GuardPolicy::Throw);
+  stats::GuardReport report;
+  EXPECT_THROW(guard.check(fake, m, report), sim::GuardViolationError);
+}
+
+TEST(SimulatorGuard, RecordPolicyCollectsEveryViolationWithTimestamp) {
+  FakeSimulator fake;
+  fake.now_s = 123.0;
+  fake.in_network = 2;
+  fake.occupancy = -1;  // breaks 0 <= occ, and queued > occ follows
+  fake.queued = 1;
+  stats::NetworkMetrics m = consistent_metrics(fake);
+  m.completed += 2;  // and conservation, for good measure
+  sim::SimulatorGuard guard(scenario::GuardPolicy::Record);
+  stats::GuardReport report;
+  EXPECT_NO_THROW(guard.check(fake, m, report));
+  EXPECT_EQ(report.checks, 1u);
+  // 1 conservation + (occupancy + queue) per road of the 1x1 grid.
+  const std::size_t roads = fake.network().roads().size();
+  EXPECT_EQ(report.violations.size(), 1u + 2u * roads);
+  for (const stats::GuardViolation& v : report.violations) {
+    EXPECT_EQ(v.time_s, 123.0);
+    EXPECT_NE(v.message.find("invariant violation at t="), std::string::npos);
+  }
+}
+
+TEST(SimulatorGuard, OccupancyAboveDesignCapacityIsViolation) {
+  FakeSimulator fake;
+  fake.in_network = 1;
+  // Design W of every road on the grid is finite; exceed the largest.
+  int max_w = 0;
+  for (const net::Road& road : fake.network().roads()) {
+    max_w = std::max(max_w, road.capacity);
+  }
+  fake.occupancy = max_w + 1;
+  sim::SimulatorGuard guard(scenario::GuardPolicy::Record);
+  stats::GuardReport report;
+  guard.check(fake, consistent_metrics(fake), report);
+  EXPECT_FALSE(report.violations.empty());
+  EXPECT_NE(report.violations.front().message.find("occupancy"), std::string::npos);
+}
+
+TEST(SimulatorGuard, QueueLargerThanOccupancyIsViolation) {
+  FakeSimulator fake;
+  fake.in_network = 1;
+  fake.occupancy = 2;
+  fake.queued = 3;
+  sim::SimulatorGuard guard(scenario::GuardPolicy::Record);
+  stats::GuardReport report;
+  guard.check(fake, consistent_metrics(fake), report);
+  EXPECT_FALSE(report.violations.empty());
+  EXPECT_NE(report.violations.front().message.find("queue"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace abp
