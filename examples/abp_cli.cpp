@@ -7,7 +7,8 @@
 // mean with a Student-t 95% confidence interval.
 //
 // Usage:
-//   abp_cli [--pattern I|II|III|IV|mixed] [--controller util|cap|orig|fixed]
+//   abp_cli [--scenario FILE] [--dump-scenario] [--print-schema-fields]
+//           [--pattern I|II|III|IV|mixed] [--controller util|cap|orig|fixed]
 //           [--duration SECONDS] [--period SECONDS] [--seed N]
 //           [--simulator micro|queue] [--rows N] [--cols N]
 //           [--mixed-lanes] [--threads N] [--replications N] [--jobs N]
@@ -17,6 +18,17 @@
 //           [--fault-controller R,C,FAIL[,RECOVER]]
 //           [--guard throw|record|abort] [--guard-interval S]
 //           [--tick-budget N] [--retries N]
+//
+// Declarative scenarios (docs/SCENARIOS.md): --scenario FILE loads a JSON
+// scenario — one of the scenarios/ library files or your own — as the base
+// configuration; explicit flags then override individual fields, with
+// --pattern also clearing a file's time-varying segment schedule (one demand
+// description wins, never a mix of both). The repeatable --fault-* flags
+// append to the file's fault schedule. --dump-scenario prints the merged
+// configuration back as a canonical scenario file instead of running (pipe
+// to a file to snapshot a flag combination as a reusable scenario);
+// --print-schema-fields lists every schema field path, one per line (the
+// docs lint, tools/check_scenario_docs.py, consumes this).
 //
 // Two parallelism axes, which multiply (see docs/PERFORMANCE.md,
 // "Run-level vs tick-level parallelism"):
@@ -44,6 +56,8 @@
 //   abp_cli --pattern mixed --controller cap --period 20 --csv out/run1
 //   abp_cli --pattern II --replications 10 --jobs 4
 //   abp_cli --pattern II --duration 900 --incident 300 --guard record
+//   abp_cli --scenario scenarios/rush_hour_ramp.json
+//   abp_cli --scenario scenarios/baseline_3x3.json --controller fixed --dump-scenario
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -57,6 +71,7 @@
 
 #include "src/exp/experiment_runner.hpp"
 #include "src/scenario/scenario.hpp"
+#include "src/scenario/scenario_io.hpp"
 #include "src/stats/student_t.hpp"
 #include "src/util/accumulator.hpp"
 #include "src/util/csv.hpp"
@@ -66,7 +81,9 @@ namespace {
 [[noreturn]] void usage_error(const char* message) {
   std::fprintf(stderr, "abp_cli: %s\n", message);
   std::fprintf(stderr,
-               "usage: abp_cli [--pattern I|II|III|IV|mixed] "
+               "usage: abp_cli [--scenario FILE] [--dump-scenario] "
+               "[--print-schema-fields]\n"
+               "               [--pattern I|II|III|IV|mixed] "
                "[--controller util|cap|orig|fixed]\n"
                "               [--duration S] [--period S] [--seed N] "
                "[--simulator micro|queue]\n"
@@ -158,6 +175,16 @@ int main(int argc, char** argv) {
   scenario::SimulatorKind simulator = scenario::SimulatorKind::Micro;
   int rows = 3, cols = 3;
   int threads = 1;
+  // Which base-config fields were explicitly set on the command line. With
+  // --scenario the file is the base and only explicit flags override it;
+  // without, the paper defaults are the base and the distinction is invisible.
+  bool pattern_set = false, controller_set = false, period_set = false;
+  bool seed_set = false, simulator_set = false;
+  bool rows_set = false, cols_set = false, threads_set = false;
+  bool guard_set = false, guard_interval_set = false;
+  std::string scenario_file;
+  bool dump_scenario_flag = false;
+  bool print_schema_fields = false;
   int replications = 1;
   int jobs = 1;
   long long tick_budget = 0;
@@ -175,16 +202,26 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage_error(("missing value for " + arg).c_str());
       return argv[++i];
     };
-    if (arg == "--pattern") {
+    if (arg == "--scenario") {
+      scenario_file = value();
+    } else if (arg == "--dump-scenario") {
+      dump_scenario_flag = true;
+    } else if (arg == "--print-schema-fields") {
+      print_schema_fields = true;
+    } else if (arg == "--pattern") {
       pattern = parse_pattern(value());
+      pattern_set = true;
     } else if (arg == "--controller") {
       controller = parse_controller(value());
+      controller_set = true;
     } else if (arg == "--duration") {
       duration = std::atof(value().c_str());
     } else if (arg == "--period") {
       period = std::atof(value().c_str());
+      period_set = true;
     } else if (arg == "--seed") {
       seed = static_cast<std::uint64_t>(std::atoll(value().c_str()));
+      seed_set = true;
     } else if (arg == "--simulator") {
       const std::string v = value();
       if (v == "micro") {
@@ -194,12 +231,16 @@ int main(int argc, char** argv) {
       } else {
         usage_error("unknown simulator");
       }
+      simulator_set = true;
     } else if (arg == "--rows") {
       rows = std::atoi(value().c_str());
+      rows_set = true;
     } else if (arg == "--cols") {
       cols = std::atoi(value().c_str());
+      cols_set = true;
     } else if (arg == "--threads") {
       threads = std::atoi(value().c_str());
+      threads_set = true;
     } else if (arg == "--replications") {
       replications = std::atoi(value().c_str());
     } else if (arg == "--jobs") {
@@ -249,8 +290,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--guard") {
       guard.enabled = true;
       guard.policy = parse_guard_policy(value());
+      guard_set = true;
     } else if (arg == "--guard-interval") {
       guard.interval_s = std::atof(value().c_str());
+      guard_interval_set = true;
     } else if (arg == "--csv") {
       csv_prefix = value();
     } else if (arg == "--help" || arg == "-h") {
@@ -258,6 +301,13 @@ int main(int argc, char** argv) {
     } else {
       usage_error(("unknown argument " + arg).c_str());
     }
+  }
+
+  if (print_schema_fields) {
+    for (const std::string& path : scenario::schema_field_paths()) {
+      std::printf("%s\n", path.c_str());
+    }
+    return 0;
   }
 
   if (threads < 1 || threads > 256) usage_error("--threads must be in [1, 256]");
@@ -271,33 +321,44 @@ int main(int argc, char** argv) {
   if ((tick_budget > 0 || retries > 0) && replications == 1) {
     usage_error("--tick-budget/--retries only apply to --replications batches");
   }
-  // The two axes multiply: each of the concurrent runs spins up `threads`
-  // sweep workers. At most min(jobs, replications) runs are ever in flight,
-  // so judge that; reject silent oversubscription here with a friendlier
-  // message than the experiment runner's exception.
-  const int concurrent_runs = jobs < replications ? jobs : replications;
-  const unsigned hc = std::thread::hardware_concurrency();
-  if (!allow_oversubscribe && concurrent_runs > 1 && hc > 0 &&
-      static_cast<long long>(concurrent_runs) * threads > static_cast<long long>(hc)) {
-    std::fprintf(stderr,
-                 "abp_cli: %d concurrent runs (min of --jobs %d and --replications %d) "
-                 "x --threads %d = %d workers oversubscribes this machine's %u hardware "
-                 "threads;\nlower --jobs or --threads, or pass --allow-oversubscribe "
-                 "(results are bit-identical either way, only slower)\n",
-                 concurrent_runs, jobs, replications, threads, concurrent_runs * threads,
-                 hc);
-    return 2;
-  }
 
-  scenario::ScenarioConfig cfg = scenario::paper_scenario(pattern, controller, period);
-  cfg.grid.rows = rows;
-  cfg.grid.cols = cols;
-  cfg.seed = seed;
-  cfg.simulator = simulator;
-  cfg.micro.dedicated_turn_lanes = !mixed_lanes;
-  cfg.micro.threads = threads;
-  cfg.queue.threads = threads;
+  // Base configuration: the scenario file when given, the paper setup
+  // otherwise. Explicit flags then override field by field, so
+  // `--scenario X --seed 7` is X's run at a different seed, nothing more.
+  scenario::ScenarioConfig cfg;
+  if (!scenario_file.empty()) {
+    try {
+      cfg = scenario::load_scenario_file(scenario_file);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "abp_cli: %s: %s\n", scenario_file.c_str(), e.what());
+      return 1;
+    }
+  } else {
+    cfg = scenario::paper_scenario(pattern, controller, period);
+  }
+  if (pattern_set) {
+    cfg.demand.pattern = pattern;
+    // One demand description wins: an explicit pattern replaces a scenario
+    // file's time-varying segment schedule rather than silently coexisting.
+    cfg.demand.schedule = traffic::DemandSchedule{};
+  }
+  if (controller_set) cfg.controller.type = controller;
+  if (period_set) cfg.controller.fixed_slot.period_s = period;
+  if (seed_set) cfg.seed = seed;
+  if (simulator_set) cfg.simulator = simulator;
+  if (rows_set) cfg.grid.rows = rows;
+  if (cols_set) cfg.grid.cols = cols;
+  if (mixed_lanes) cfg.micro.dedicated_turn_lanes = false;
+  if (threads_set) {
+    cfg.micro.threads = threads;
+    cfg.queue.threads = threads;
+  }
   if (duration > 0.0) cfg.duration_s = duration;
+  if (guard_set) {
+    cfg.guard.enabled = true;
+    cfg.guard.policy = guard.policy;
+  }
+  if (guard_interval_set) cfg.guard.interval_s = guard.interval_s;
 
   if (incident_at >= 0.0) {
     // Canned mixed incident starting at T, sized so every piece fires on any
@@ -306,13 +367,48 @@ int main(int argc, char** argv) {
     // a controller outage with recovery at the center junction.
     const double t0 = incident_at;
     faults.capacity.push_back(
-        {{0, cols - 1, net::Side::North}, t0, t0 + 300.0, 0.3});
+        {{0, cfg.grid.cols - 1, net::Side::North}, t0, t0 + 300.0, 0.3});
     faults.sensors.push_back(
         {{0, 0}, t0, t0 + 120.0, core::SensorFaultKind::Dropout, 0, 0});
-    faults.controllers.push_back({{rows / 2, cols / 2}, t0, t0 + 180.0});
+    faults.controllers.push_back(
+        {{cfg.grid.rows / 2, cfg.grid.cols / 2}, t0, t0 + 180.0});
   }
-  cfg.faults = faults;
-  cfg.guard = guard;
+  // CLI faults append to (never replace) whatever the scenario file declares.
+  cfg.faults.capacity.insert(cfg.faults.capacity.end(), faults.capacity.begin(),
+                             faults.capacity.end());
+  cfg.faults.sensors.insert(cfg.faults.sensors.end(), faults.sensors.begin(),
+                            faults.sensors.end());
+  cfg.faults.controllers.insert(cfg.faults.controllers.end(),
+                                faults.controllers.begin(), faults.controllers.end());
+
+  if (dump_scenario_flag) {
+    try {
+      std::fputs(scenario::dump_scenario(cfg).c_str(), stdout);
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "abp_cli: error: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  // The two axes multiply: each of the concurrent runs spins up the selected
+  // backend's tick-level sweep workers. At most min(jobs, replications) runs
+  // are ever in flight, so judge that; reject silent oversubscription here
+  // with a friendlier message than the experiment runner's exception.
+  const int tick = scenario::tick_threads(cfg);
+  const int concurrent_runs = jobs < replications ? jobs : replications;
+  const unsigned hc = std::thread::hardware_concurrency();
+  if (!allow_oversubscribe && concurrent_runs > 1 && hc > 0 &&
+      static_cast<long long>(concurrent_runs) * tick > static_cast<long long>(hc)) {
+    std::fprintf(stderr,
+                 "abp_cli: %d concurrent runs (min of --jobs %d and --replications %d) "
+                 "x %d tick threads = %d workers oversubscribes this machine's %u "
+                 "hardware threads;\nlower --jobs or --threads, or pass "
+                 "--allow-oversubscribe (results are bit-identical either way, only "
+                 "slower)\n",
+                 concurrent_runs, jobs, replications, tick, concurrent_runs * tick, hc);
+    return 2;
+  }
 
   try {
     if (replications > 1) {
@@ -328,17 +424,17 @@ int main(int argc, char** argv) {
       std::printf(
           "pattern=%s controller=%s simulator=%s grid=%dx%d duration=%.0fs "
           "replications=%d jobs=%d\n",
-          traffic::pattern_name(pattern).c_str(),
-          core::controller_type_name(controller).c_str(),
-          simulator == scenario::SimulatorKind::Micro ? "micro" : "queue", rows, cols,
-          cfg.duration_s, replications, jobs);
+          traffic::pattern_name(cfg.demand.pattern).c_str(),
+          core::controller_type_name(cfg.controller.type).c_str(),
+          cfg.simulator == scenario::SimulatorKind::Micro ? "micro" : "queue",
+          cfg.grid.rows, cfg.grid.cols, cfg.duration_s, replications, jobs);
 
       Accumulator acc;
       std::size_t errors = 0;
       std::size_t guard_violations = 0;
       for (std::size_t i = 0; i < statuses.size(); ++i) {
         const exp::RunStatus& s = statuses[i];
-        const unsigned long long run_seed = static_cast<unsigned long long>(seed + i);
+        const unsigned long long run_seed = static_cast<unsigned long long>(cfg.seed + i);
         switch (s.outcome) {
           case exp::RunStatus::Outcome::Ok:
             std::printf("seed=%llu avg_queuing_s=%.2f\n", run_seed,
@@ -374,7 +470,7 @@ int main(int argc, char** argv) {
       } else {
         std::printf("ok=0/%d (no completed runs to summarize)\n", replications);
       }
-      if (guard.enabled) {
+      if (cfg.guard.enabled) {
         std::printf("guard_violations=%zu\n", guard_violations);
       }
       if (!csv_prefix.empty()) {
@@ -387,7 +483,7 @@ int main(int argc, char** argv) {
                                     : s.outcome == exp::RunStatus::Outcome::Timeout
                                         ? "timeout"
                                         : "error";
-          w.typed_row(static_cast<unsigned long long>(seed + i), status_name,
+          w.typed_row(static_cast<unsigned long long>(cfg.seed + i), status_name,
                       s.ok() || s.outcome == exp::RunStatus::Outcome::Timeout
                           ? s.result.metrics.average_queuing_time_s()
                           : 0.0);
@@ -395,25 +491,31 @@ int main(int argc, char** argv) {
         std::printf("csv written: %s_replications.csv\n", csv_prefix.c_str());
       }
       if (errors > 0) return 1;
-      if (guard.enabled && guard_violations > 0) return 3;
+      if (cfg.guard.enabled && guard_violations > 0) return 3;
       return 0;
     }
 
     // Watch the north approach of the top-right junction (Fig. 5's setup uses
-    // the east approach; north is present in every grid size). Single-run
-    // mode only: the replication summary never reads the series, so batch
-    // runs skip the per-tick sampling and storage.
-    cfg.watches.push_back(
-        {.row = 0, .col = cols - 1, .side = net::Side::North, .name = "watch"});
+    // the east approach; north is present in every grid size) unless the
+    // scenario file already declares watches. Single-run mode only: the
+    // replication summary never reads the series, so batch runs skip the
+    // per-tick sampling and storage.
+    if (cfg.watches.empty()) {
+      cfg.watches.push_back({.row = 0,
+                             .col = cfg.grid.cols - 1,
+                             .side = net::Side::North,
+                             .name = "watch"});
+    }
 
     const stats::RunResult r = scenario::run_scenario(cfg);
 
     std::printf(
         "pattern=%s controller=%s simulator=%s grid=%dx%d duration=%.0fs seed=%llu\n",
-        traffic::pattern_name(pattern).c_str(),
-        core::controller_type_name(controller).c_str(),
-        simulator == scenario::SimulatorKind::Micro ? "micro" : "queue", rows, cols,
-        r.duration_s, static_cast<unsigned long long>(seed));
+        traffic::pattern_name(cfg.demand.pattern).c_str(),
+        core::controller_type_name(cfg.controller.type).c_str(),
+        cfg.simulator == scenario::SimulatorKind::Micro ? "micro" : "queue",
+        cfg.grid.rows, cfg.grid.cols, r.duration_s,
+        static_cast<unsigned long long>(cfg.seed));
     std::printf("generated=%zu entered=%zu completed=%zu in_network_at_end=%zu\n",
                 r.metrics.generated, r.metrics.entered, r.metrics.completed,
                 r.metrics.in_network_at_end);
@@ -421,7 +523,7 @@ int main(int argc, char** argv) {
         "avg_queuing_s=%.2f avg_travel_s=%.2f p50_queuing_s=%.2f p95_queuing_s=%.2f\n",
         r.metrics.average_queuing_time_s(), r.metrics.average_travel_time_s(),
         r.metrics.queuing_time_s.quantile(0.5), r.metrics.queuing_time_s.quantile(0.95));
-    if (guard.enabled) {
+    if (cfg.guard.enabled) {
       std::printf("guard_checks=%zu guard_violations=%zu\n", r.guard.checks,
                   r.guard.violations.size());
       for (std::size_t i = 0; i < r.guard.violations.size() && i < 3; ++i) {
@@ -443,14 +545,15 @@ int main(int argc, char** argv) {
         std::ofstream out(csv_prefix + "_phases.csv");
         CsvWriter w(out);
         w.row({"time_s", "phase"});
-        for (const auto& s : r.phase_traces[static_cast<std::size_t>(cols - 1)].samples()) {
+        for (const auto& s :
+             r.phase_traces[static_cast<std::size_t>(cfg.grid.cols - 1)].samples()) {
           w.typed_row(s.time, s.phase);
         }
       }
       std::printf("csv written: %s_queue.csv, %s_phases.csv\n", csv_prefix.c_str(),
                   csv_prefix.c_str());
     }
-    if (guard.enabled && !r.guard.violations.empty()) return 3;
+    if (cfg.guard.enabled && !r.guard.violations.empty()) return 3;
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "abp_cli: error: %s\n", e.what());

@@ -5,9 +5,13 @@
 // Demonstrates the parts of the public API that GridBuilder hides: placing
 // intersections, wiring directed roads with compass sides, per-road
 // capacities, and what the standard phase plan does for incomplete
-// junctions.
+// junctions. (Scenario files cover grid topologies only; hand-built
+// networks like this one are what the programmatic API is for.)
 //
-//   ./build/examples/custom_network
+// Expected output: the validated topology summary (3 junctions, road count)
+// followed by one metrics line for a short UTIL-BP run on the corridor.
+//
+//   ./build/custom_network
 #include <cstdio>
 
 #include "src/core/factory.hpp"

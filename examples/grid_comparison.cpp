@@ -2,8 +2,11 @@
 //
 // Runs one hour of the selected pattern under UTIL-BP, CAP-BP, the original
 // back-pressure policy and a fixed-time controller, and prints a table of
-// network-wide metrics. Usage:
-//   ./build/examples/grid_comparison [pattern] [duration_s]
+// network-wide metrics — the Table-III style comparison, with UTIL-BP
+// expected to post the lowest average queuing time on every pattern.
+// Expected output: a four-row table (one per controller) of completed
+// counts, average queuing/travel times and tail quantiles. Usage:
+//   ./build/grid_comparison [pattern] [duration_s]
 // where pattern is one of I, II, III, IV, mixed (default I).
 #include <cstdio>
 #include <cstdlib>

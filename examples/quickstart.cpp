@@ -1,9 +1,16 @@
 // Quickstart: run the paper's UTIL-BP controller on the 3x3 grid for ten
 // simulated minutes of Pattern I traffic and print the headline metrics.
 //
+// The smallest end-to-end use of the programmatic API: describe → watch →
+// run → report. Expected output: one summary block (completed/entered
+// counts, average queuing and travel times, and the watched road's peak
+// queue) — a few lines, deterministic for the fixed seed. For the
+// file-driven equivalent of step 1, see docs/SCENARIOS.md and
+// `abp_cli --scenario`.
+//
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/quickstart
 #include <cstdio>
 
 #include "src/scenario/scenario.hpp"

@@ -1,95 +1,80 @@
-// Rush hour: run the 3x3 grid at three escalating demand levels and watch
-// how UTIL-BP's utilization-aware rules behave as congestion builds — the
-// varying-length phases shorten, amber share rises, and under heavy load the
-// full-road rule (gain beta) stops feeding saturated central roads.
+// Rush hour: load the scenarios/rush_hour_ramp.json library scenario — a
+// 90-minute piecewise demand timeline (calm uniform traffic, doubled uniform
+// traffic, then a Pattern-I surge) — and watch how UTIL-BP's
+// utilization-aware rules behave as congestion builds: the varying-length
+// phases shorten, the amber share rises, and under heavy load the full-road
+// rule (gain beta) stops feeding saturated central roads.
 //
-//   ./build/examples/rush_hour
+// The demand timeline lives in the scenario file, not in this program
+// (docs/SCENARIOS.md describes the format); the code shows both ways to run
+// it: the continuous run straight from the config, and per-level isolation
+// runs built from the file's schedule segments.
+//
+// Expected output: a summary line for the continuous 90-minute run, a
+// three-row table of per-level metrics (avg queuing roughly 15 s calm /
+// 40 s busy / 200+ s surge), an ASCII chart of the central junction's north
+// approach queue per level, and a phase table showing the amber share
+// rising with load.
+//
+//   ./build/rush_hour
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
-#include "src/core/factory.hpp"
-#include "src/microsim/micro_sim.hpp"
-#include "src/net/grid.hpp"
-#include "src/net/validation.hpp"
-#include "src/traffic/demand.hpp"
+#include "src/scenario/scenario.hpp"
+#include "src/scenario/scenario_io.hpp"
+#include "src/traffic/patterns.hpp"
 #include "src/util/ascii_chart.hpp"
-
-namespace {
-
-struct Segment {
-  const char* label;
-  abp::traffic::DemandConfig demand;
-  char marker;
-};
-
-}  // namespace
 
 int main() {
   using namespace abp;
 
-  net::GridConfig grid_cfg;  // the paper's 3x3, W=120, mu=1
-  const net::Network network = net::build_grid(grid_cfg);
-  net::validate_or_throw(network);
+  // The library scenario is the single source of truth for the timeline.
+  const scenario::ScenarioConfig base =
+      scenario::load_scenario_file(std::string(ABP_SCENARIO_DIR) + "/rush_hour_ramp.json");
+  const std::vector<traffic::ScheduleSegment>& timeline =
+      base.demand.schedule.segments();
 
-  // Three 30-minute load levels: calm uniform traffic, doubled uniform
-  // traffic, and a surge at twice the Pattern-I (adjacent-heavy) rates.
-  traffic::DemandConfig calm;
-  calm.pattern = traffic::PatternKind::II;
-  traffic::DemandConfig busy = calm;
-  busy.interarrival_scale = 0.5;
-  traffic::DemandConfig surge;
-  surge.pattern = traffic::PatternKind::I;
-  surge.interarrival_scale = 0.5;
-
-  const Segment segments[] = {
-      {"calm  (Pattern II)", calm, '.'},
-      {"busy  (2x Pattern II)", busy, 'o'},
-      {"surge (2x Pattern I)", surge, '#'},
-  };
-
-  // The same timeline can run as ONE simulation with a piecewise demand
-  // schedule — queues then carry over between load levels, which is the
-  // realistic rush-hour picture; the per-level runs below isolate each level
-  // with a fresh network instead.
-  traffic::DemandConfig scheduled;
-  scheduled.schedule = traffic::DemandSchedule({
-      {.duration_s = 1800.0, .pattern = traffic::PatternKind::II, .interarrival_scale = 1.0},
-      {.duration_s = 1800.0, .pattern = traffic::PatternKind::II, .interarrival_scale = 0.5},
-      {.duration_s = 1800.0, .pattern = traffic::PatternKind::I, .interarrival_scale = 0.5},
-  });
+  // Continuous run: ONE simulation over the whole piecewise schedule, so
+  // queues carry over between load levels — the realistic rush-hour picture.
   {
-    traffic::DemandGenerator demand(network, scheduled, 7);
-    core::ControllerSpec spec;
-    spec.type = core::ControllerType::UtilBp;
-    microsim::MicroSim sim(network, microsim::MicroSimConfig{},
-                           core::make_controllers(spec, network), demand, 11);
-    const stats::RunResult r = sim.finish(3.0 * 1800.0);
+    const stats::RunResult r = scenario::run_scenario(base);
     std::printf(
-        "Continuous 90-min timeline (queues carry over between levels):\n"
+        "Continuous %.0f-min timeline (queues carry over between levels):\n"
         "  avg queuing %.2f s | completed %zu | peak in-network %.0f vehicles\n\n",
-        r.metrics.average_queuing_time_s(), r.metrics.completed, r.in_network_series.max());
+        base.duration_s / 60.0, r.metrics.average_queuing_time_s(),
+        r.metrics.completed, r.in_network_series.max());
   }
 
-  std::printf("Per-level runs (fresh network each, 30 min):\n\n");
+  // Per-level isolation runs: each schedule segment as its own fresh-network
+  // run, so the levels can be compared without carry-over effects.
+  std::printf("Per-level runs (fresh network each, %.0f min):\n\n",
+              timeline.front().duration_s / 60.0);
+  const char markers[] = {'.', 'o', '#', '+', 'x'};
   std::vector<ChartSeries> series;
   std::vector<stats::RunResult> results;
-  for (const Segment& segment : segments) {
-    traffic::DemandGenerator demand(network, segment.demand, 7);
-    core::ControllerSpec spec;
-    spec.type = core::ControllerType::UtilBp;
-    microsim::MicroSim sim(network, microsim::MicroSimConfig{},
-                           core::make_controllers(spec, network), demand, 11);
-    const auto center = network.at_grid(1, 1);
-    sim.watch_road(network.intersection(*center).incoming_on(net::Side::North),
-                   segment.label);
-    results.push_back(sim.finish(1800.0));
+  std::vector<std::string> labels;
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    const traffic::ScheduleSegment& seg = timeline[i];
+    scenario::ScenarioConfig level = base;
+    level.demand.schedule = traffic::DemandSchedule{};
+    level.demand.pattern = seg.pattern;
+    level.demand.interarrival_scale =
+        base.demand.interarrival_scale * seg.interarrival_scale;
+    level.duration_s = seg.duration_s;
+    labels.push_back(traffic::pattern_name(seg.pattern) + " x" +
+                     std::to_string(seg.interarrival_scale).substr(0, 4));
+    level.watches.assign(
+        {{.row = 1, .col = 1, .side = net::Side::North, .name = labels.back()}});
+
+    results.push_back(scenario::run_scenario(level));
     const stats::RunResult& r = results.back();
-
     std::printf("%-22s avg queuing %7.2f s | completed %5zu | still inside %4zu\n",
-                segment.label, r.metrics.average_queuing_time_s(), r.metrics.completed,
-                r.metrics.in_network_at_end);
+                labels.back().c_str(), r.metrics.average_queuing_time_s(),
+                r.metrics.completed, r.metrics.in_network_at_end);
 
-    ChartSeries s{.name = segment.label, .marker = segment.marker};
+    ChartSeries s{.name = labels.back(), .marker = markers[i % sizeof markers]};
     s.x = r.road_series[0].times();
     s.y = r.road_series[0].values();
     series.push_back(std::move(s));
@@ -107,7 +92,7 @@ int main() {
   std::printf("\n%-22s %12s %18s\n", "load level", "ambers", "amber time share");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const stats::PhaseTrace& trace = results[i].phase_traces[4];  // J(1,1)
-    std::printf("%-22s %12d %17.1f%%\n", segments[i].label, trace.transition_count(),
+    std::printf("%-22s %12d %17.1f%%\n", labels[i].c_str(), trace.transition_count(),
                 100.0 * trace.amber_fraction());
   }
   return 0;

@@ -20,6 +20,7 @@
 
 #include "src/core/controller.hpp"
 #include "src/core/gain.hpp"
+#include "src/core/pressure_presets.hpp"
 
 namespace abp::core {
 
@@ -40,7 +41,11 @@ struct FixedSlotBpConfig {
   // Gregoire-style fallback: when all weights are zero, activate the phase
   // able to serve the most vehicles rather than idling a whole slot.
   bool work_conserving = true;
-  // Optional non-identity pressure mapping.
+  // Pressure preset, materialized into `pressure` by the factory; the
+  // serializable form of the mapping (see UtilBpConfig::pressure_kind).
+  PressureKind pressure_kind = PressureKind::Identity;
+  // Optional non-identity pressure mapping; wins over pressure_kind when set
+  // (programmatic API only — not serializable).
   PressureFn pressure;
 };
 

@@ -18,6 +18,7 @@
 
 #include "src/core/controller.hpp"
 #include "src/core/gain.hpp"
+#include "src/core/pressure_presets.hpp"
 
 namespace abp::core {
 
@@ -41,7 +42,14 @@ struct UtilBpConfig {
   double amber_duration_s = 4.0;
   GStarPolicy gstar_policy = GStarPolicy::WStarMu;
   double gstar_constant = 0.0;
-  // Optional non-identity pressure mapping b = f(q).
+  // Pressure mapping b = f(q), chosen by preset. The factory materializes
+  // any non-identity kind into `pressure` at construction time; this field
+  // (not the function) is what the declarative scenario layer serializes, so
+  // scenario files round-trip (docs/SCENARIOS.md).
+  PressureKind pressure_kind = PressureKind::Identity;
+  // Optional non-identity pressure mapping b = f(q). When set it wins over
+  // pressure_kind — programmatic API only: a config carrying a custom
+  // function cannot be dumped to a scenario file.
   PressureFn pressure;
 };
 

@@ -27,8 +27,13 @@ struct ControllerSpec {
   FixedTimeConfig fixed_time;
 };
 
-// Builds a controller of the requested type for one junction plan.
-[[nodiscard]] ControllerPtr make_controller(const ControllerSpec& spec, IntersectionPlan plan);
+// Builds a controller of the requested type for one junction plan. A
+// non-identity UtilBpConfig/FixedSlotBpConfig::pressure_kind with no explicit
+// pressure function is materialized here via make_pressure;
+// `pressure_capacity` feeds the Normalized preset's q/W scaling (callers with
+// a network pass its largest road capacity — make_controllers does).
+[[nodiscard]] ControllerPtr make_controller(const ControllerSpec& spec, IntersectionPlan plan,
+                                            double pressure_capacity = 120.0);
 
 // Convenience: one controller per intersection of the network, indexed by
 // IntersectionId::index().

@@ -13,6 +13,9 @@ FixedTimeController::FixedTimeController(IntersectionPlan plan, FixedTimeConfig 
   if (config_.amber_duration_s < 0.0) {
     throw std::invalid_argument("amber duration must be non-negative");
   }
+  if (!(config_.offset_s >= 0.0) || !std::isfinite(config_.offset_s)) {
+    throw std::invalid_argument("offset must be finite and non-negative");
+  }
   if (plan_.num_control_phases() < 1) {
     throw std::invalid_argument("fixed-time control needs at least one control phase");
   }
@@ -31,7 +34,13 @@ net::PhaseIndex FixedTimeController::decide(const IntersectionObservation& obs) 
   const int phases = plan_.num_control_phases();
   const double slot = config_.green_duration_s + config_.amber_duration_s;
   const double cycle = slot * phases;
-  double offset = std::fmod(obs.time - cycle_origin_, cycle);
+  // The configured offset shifts where in the common cycle this junction
+  // starts: a junction with offset o displays at time t what an offset-0
+  // junction displays at t + o, i.e. it reaches each phase boundary o seconds
+  // *earlier*. A green wave for travel time tau per block therefore uses
+  // offsets decreasing by tau along the travel direction (modularly:
+  // offset_k = (cycle - k * tau) mod cycle).
+  double offset = std::fmod(obs.time - cycle_origin_ + config_.offset_s, cycle);
   if (offset < 0.0) offset += cycle;
   const int slot_index = static_cast<int>(offset / slot);
   const double within = offset - slot_index * slot;

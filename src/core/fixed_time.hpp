@@ -15,6 +15,11 @@ struct FixedTimeConfig {
   double green_duration_s = 15.0;
   // Amber between consecutive phases.
   double amber_duration_s = 4.0;
+  // Shifts this junction's cycle start within the common cycle. Staggering
+  // offsets junction-by-junction along a corridor (offset ≈ link travel
+  // time) produces a classical green wave — see the arterial_corridor
+  // scenario and docs/SCENARIOS.md. Must be finite and non-negative.
+  double offset_s = 0.0;
 };
 
 class FixedTimeController final : public SignalController {

@@ -41,10 +41,26 @@ struct WatchSpec {
   std::string name;
 };
 
+// Replaces the run-wide ControllerSpec at one grid junction. The declarative
+// layer uses this for heterogeneous control — e.g. an arterial corridor whose
+// fixed-time junctions carry staggered offsets (a green wave) while the rest
+// of the grid stays adaptive. When several overrides name the same junction,
+// the last one wins (scenario files reject such duplicates at load time).
+struct ControllerOverride {
+  GridNodeRef node;
+  core::ControllerSpec spec;
+};
+
 struct ScenarioConfig {
+  // Descriptive metadata (scenario library identity; empty for programmatic
+  // configs). `name` keys the library's golden determinism pins.
+  std::string name;
+  std::string description;
   net::GridConfig grid;
   traffic::DemandConfig demand;
   core::ControllerSpec controller;
+  // Per-junction exceptions to `controller`, applied by make_simulator().
+  std::vector<ControllerOverride> controller_overrides;
   SimulatorKind simulator = SimulatorKind::Micro;
   double duration_s = 3600.0;
   std::uint64_t seed = 42;

@@ -54,14 +54,43 @@ RoadId resolve_watch(const net::Network& network, const scenario::WatchSpec& w) 
   return resolve_approach(network, w.row, w.col, w.side, "watch");
 }
 
-// One controller per intersection, with the junctions named by the fault
-// schedule wrapped in a core::FaultInjectedController. Junctions without
-// faults keep their plain controller — a run with an empty schedule builds
-// exactly the controller set it always has.
+// The effective per-junction ControllerSpec: the run-wide spec, unless a
+// controller override names the junction (last matching override wins).
+const core::ControllerSpec& effective_spec(const scenario::ScenarioConfig& config,
+                                           const net::Network& network,
+                                           IntersectionId node) {
+  const core::ControllerSpec* spec = &config.controller;
+  for (const scenario::ControllerOverride& o : config.controller_overrides) {
+    const IntersectionId target =
+        resolve_node(network, o.node.row, o.node.col, "controller override");
+    if (target == node) spec = &o.spec;
+  }
+  return *spec;
+}
+
+// One controller per intersection — the run-wide spec with any per-junction
+// overrides applied — with the junctions named by the fault schedule wrapped
+// in a core::FaultInjectedController. Junctions without faults keep their
+// plain controller — a run with an empty schedule builds exactly the
+// controller set it always has.
 std::vector<core::ControllerPtr> make_run_controllers(
     const scenario::ScenarioConfig& config, const net::Network& network) {
-  std::vector<core::ControllerPtr> controllers =
-      core::make_controllers(config.controller, network);
+  std::vector<core::ControllerPtr> controllers;
+  if (config.controller_overrides.empty()) {
+    controllers = core::make_controllers(config.controller, network);
+  } else {
+    // Validate every override (resolve_node throws on out-of-grid nodes) and
+    // stamp each junction from its effective spec.
+    controllers.reserve(network.intersections().size());
+    double cap = 0.0;
+    for (const net::Road& road : network.roads()) {
+      cap = std::max(cap, static_cast<double>(road.capacity));
+    }
+    for (const net::Intersection& node : network.intersections()) {
+      controllers.push_back(core::make_controller(
+          effective_spec(config, network, node.id), core::make_plan(network, node), cap));
+    }
+  }
   if (config.faults.sensors.empty() && config.faults.controllers.empty()) {
     return controllers;
   }
@@ -85,10 +114,11 @@ std::vector<core::ControllerPtr> make_run_controllers(
     const std::size_t i = node.id.index();
     if (sensor_windows[i].empty() && failure_windows[i].empty()) continue;
     // The degraded-mode fallback is classical pre-timed control, built from
-    // the same spec's fixed-time parameters.
+    // the junction's effective spec's fixed-time parameters (so an overridden
+    // corridor junction fails over with its own offsets intact).
     core::ControllerSpec fallback_spec;
     fallback_spec.type = core::ControllerType::FixedTime;
-    fallback_spec.fixed_time = config.controller.fixed_time;
+    fallback_spec.fixed_time = effective_spec(config, network, node.id).fixed_time;
     controllers[i] = std::make_unique<core::FaultInjectedController>(
         std::move(controllers[i]),
         core::make_controller(fallback_spec, core::make_plan(network, node)),
