@@ -17,6 +17,7 @@
 //           [--fault-sensor R,C,KIND,START,END[,BIAS[,MAG]]]
 //           [--fault-controller R,C,FAIL[,RECOVER]]
 //           [--guard throw|record|abort] [--guard-interval S]
+//           [--detect] [--detect-adapt]
 //           [--tick-budget N] [--retries N]
 //
 // Declarative scenarios (docs/SCENARIOS.md): --scenario FILE loads a JSON
@@ -46,7 +47,10 @@
 // timed incidents to the run's FaultSchedule; --incident T is a canned
 // mixed incident (capacity drop + sensor dropout + controller failover)
 // starting at T, used by the CI smoke step. --guard enables the runtime
-// invariant guard; --tick-budget and --retries configure the experiment
+// invariant guard; --detect enables the online changepoint detector over the
+// junctions' sensor streams (docs/CHANGEPOINT.md), reporting regime-shift
+// events, and --detect-adapt additionally lets detections re-tune the
+// controllers; --tick-budget and --retries configure the experiment
 // runner's per-run deadline and retry policy in --replications mode, where
 // per-seed statuses (ok / timeout / error) are reported and the summary is
 // computed over the runs that completed.
@@ -58,6 +62,7 @@
 //   abp_cli --pattern II --duration 900 --incident 300 --guard record
 //   abp_cli --scenario scenarios/rush_hour_ramp.json
 //   abp_cli --scenario scenarios/baseline_3x3.json --controller fixed --dump-scenario
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -95,6 +100,7 @@ namespace {
                "               [--fault-sensor R,C,KIND,START,END[,BIAS[,MAG]]]\n"
                "               [--fault-controller R,C,FAIL[,RECOVER]]\n"
                "               [--guard throw|record|abort] [--guard-interval S]\n"
+               "               [--detect] [--detect-adapt]\n"
                "               [--tick-budget N] [--retries N]\n");
   std::exit(2);
 }
@@ -157,9 +163,54 @@ std::vector<std::string> split_fields(const std::string& s) {
   }
 }
 
-double parse_time(const std::string& s) {
+// --- Strict numeric parsing -------------------------------------------------
+// std::atoi/atof silently return 0 on garbage, so "--threads abc" used to run
+// (and then fail the range check with a misleading message) and "--seed 1x"
+// quietly dropped the "x". Every numeric flag instead goes through these:
+// the whole token must parse, and it must fit the target type, or the run
+// exits with a usage error naming the flag.
+
+[[noreturn]] void bad_number(const char* flag, const std::string& s) {
+  usage_error((std::string(flag) + ": invalid number \"" + s + "\"").c_str());
+}
+
+long long parse_i64(const std::string& s, const char* flag) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE) bad_number(flag, s);
+  return v;
+}
+
+int parse_int(const std::string& s, const char* flag) {
+  const long long v = parse_i64(s, flag);
+  if (v < std::numeric_limits<int>::min() || v > std::numeric_limits<int>::max()) {
+    bad_number(flag, s);
+  }
+  return static_cast<int>(v);
+}
+
+std::uint64_t parse_u64(const std::string& s, const char* flag) {
+  if (s.empty() || s[0] == '-') bad_number(flag, s);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE) bad_number(flag, s);
+  return v;
+}
+
+double parse_double(const std::string& s, const char* flag) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE) bad_number(flag, s);
+  return v;
+}
+
+// A time that may be infinite: a number, or the literal "inf".
+double parse_time(const std::string& s, const char* flag) {
   if (s == "inf") return std::numeric_limits<double>::infinity();
-  return std::atof(s.c_str());
+  return parse_double(s, flag);
 }
 
 }  // namespace
@@ -192,6 +243,8 @@ int main(int argc, char** argv) {
   bool allow_oversubscribe = false;
   bool mixed_lanes = false;
   double incident_at = -1.0;
+  bool detect_set = false;
+  bool detect_adapt = false;
   scenario::FaultSchedule faults;
   scenario::GuardConfig guard;
   std::string csv_prefix;
@@ -215,12 +268,12 @@ int main(int argc, char** argv) {
       controller = parse_controller(value());
       controller_set = true;
     } else if (arg == "--duration") {
-      duration = std::atof(value().c_str());
+      duration = parse_double(value(), "--duration");
     } else if (arg == "--period") {
-      period = std::atof(value().c_str());
+      period = parse_double(value(), "--period");
       period_set = true;
     } else if (arg == "--seed") {
-      seed = static_cast<std::uint64_t>(std::atoll(value().c_str()));
+      seed = parse_u64(value(), "--seed");
       seed_set = true;
     } else if (arg == "--simulator") {
       const std::string v = value();
@@ -233,36 +286,37 @@ int main(int argc, char** argv) {
       }
       simulator_set = true;
     } else if (arg == "--rows") {
-      rows = std::atoi(value().c_str());
+      rows = parse_int(value(), "--rows");
       rows_set = true;
     } else if (arg == "--cols") {
-      cols = std::atoi(value().c_str());
+      cols = parse_int(value(), "--cols");
       cols_set = true;
     } else if (arg == "--threads") {
-      threads = std::atoi(value().c_str());
+      threads = parse_int(value(), "--threads");
       threads_set = true;
     } else if (arg == "--replications") {
-      replications = std::atoi(value().c_str());
+      replications = parse_int(value(), "--replications");
     } else if (arg == "--jobs") {
-      jobs = std::atoi(value().c_str());
+      jobs = parse_int(value(), "--jobs");
     } else if (arg == "--tick-budget") {
-      tick_budget = std::atoll(value().c_str());
+      tick_budget = parse_i64(value(), "--tick-budget");
     } else if (arg == "--retries") {
-      retries = std::atoi(value().c_str());
+      retries = parse_int(value(), "--retries");
     } else if (arg == "--allow-oversubscribe") {
       allow_oversubscribe = true;
     } else if (arg == "--mixed-lanes") {
       mixed_lanes = true;
     } else if (arg == "--incident") {
-      incident_at = std::atof(value().c_str());
+      incident_at = parse_double(value(), "--incident");
     } else if (arg == "--fault-capacity") {
       const std::vector<std::string> f = split_fields(value());
       if (f.size() != 6) usage_error("--fault-capacity needs R,C,SIDE,START,END,FACTOR");
       scenario::CapacityFault fault;
-      fault.road = {std::atoi(f[0].c_str()), std::atoi(f[1].c_str()), parse_side(f[2])};
-      fault.start_s = parse_time(f[3]);
-      fault.end_s = parse_time(f[4]);
-      fault.capacity_factor = std::atof(f[5].c_str());
+      fault.road = {parse_int(f[0], "--fault-capacity row"),
+                    parse_int(f[1], "--fault-capacity col"), parse_side(f[2])};
+      fault.start_s = parse_time(f[3], "--fault-capacity start");
+      fault.end_s = parse_time(f[4], "--fault-capacity end");
+      fault.capacity_factor = parse_double(f[5], "--fault-capacity factor");
       faults.capacity.push_back(fault);
     } else if (arg == "--fault-sensor") {
       const std::vector<std::string> f = split_fields(value());
@@ -270,12 +324,15 @@ int main(int argc, char** argv) {
         usage_error("--fault-sensor needs R,C,KIND,START,END[,BIAS[,MAG]]");
       }
       scenario::SensorFault fault;
-      fault.node = {std::atoi(f[0].c_str()), std::atoi(f[1].c_str())};
+      fault.node = {parse_int(f[0], "--fault-sensor row"),
+                    parse_int(f[1], "--fault-sensor col")};
       fault.kind = parse_sensor_kind(f[2]);
-      fault.start_s = parse_time(f[3]);
-      fault.end_s = parse_time(f[4]);
-      if (f.size() > 5) fault.bias = std::atoi(f[5].c_str());
-      if (f.size() > 6) fault.noise_magnitude = std::atoi(f[6].c_str());
+      fault.start_s = parse_time(f[3], "--fault-sensor start");
+      fault.end_s = parse_time(f[4], "--fault-sensor end");
+      if (f.size() > 5) fault.bias = parse_int(f[5], "--fault-sensor bias");
+      if (f.size() > 6) {
+        fault.noise_magnitude = parse_int(f[6], "--fault-sensor magnitude");
+      }
       faults.sensors.push_back(fault);
     } else if (arg == "--fault-controller") {
       const std::vector<std::string> f = split_fields(value());
@@ -283,17 +340,23 @@ int main(int argc, char** argv) {
         usage_error("--fault-controller needs R,C,FAIL[,RECOVER]");
       }
       scenario::ControllerFault fault;
-      fault.node = {std::atoi(f[0].c_str()), std::atoi(f[1].c_str())};
-      fault.fail_s = parse_time(f[2]);
-      if (f.size() > 3) fault.recover_s = parse_time(f[3]);
+      fault.node = {parse_int(f[0], "--fault-controller row"),
+                    parse_int(f[1], "--fault-controller col")};
+      fault.fail_s = parse_time(f[2], "--fault-controller fail");
+      if (f.size() > 3) fault.recover_s = parse_time(f[3], "--fault-controller recover");
       faults.controllers.push_back(fault);
     } else if (arg == "--guard") {
       guard.enabled = true;
       guard.policy = parse_guard_policy(value());
       guard_set = true;
     } else if (arg == "--guard-interval") {
-      guard.interval_s = std::atof(value().c_str());
+      guard.interval_s = parse_double(value(), "--guard-interval");
       guard_interval_set = true;
+    } else if (arg == "--detect") {
+      detect_set = true;
+    } else if (arg == "--detect-adapt") {
+      detect_set = true;
+      detect_adapt = true;
     } else if (arg == "--csv") {
       csv_prefix = value();
     } else if (arg == "--help" || arg == "-h") {
@@ -359,6 +422,8 @@ int main(int argc, char** argv) {
     cfg.guard.policy = guard.policy;
   }
   if (guard_interval_set) cfg.guard.interval_s = guard.interval_s;
+  if (detect_set) cfg.detector.enabled = true;
+  if (detect_adapt) cfg.detector.adapt = true;
 
   if (incident_at >= 0.0) {
     // Canned mixed incident starting at T, sized so every piece fires on any
@@ -432,6 +497,7 @@ int main(int argc, char** argv) {
       Accumulator acc;
       std::size_t errors = 0;
       std::size_t guard_violations = 0;
+      std::size_t detections_total = 0;
       for (std::size_t i = 0; i < statuses.size(); ++i) {
         const exp::RunStatus& s = statuses[i];
         const unsigned long long run_seed = static_cast<unsigned long long>(cfg.seed + i);
@@ -441,6 +507,7 @@ int main(int argc, char** argv) {
                         s.result.metrics.average_queuing_time_s());
             acc.add(s.result.metrics.average_queuing_time_s());
             guard_violations += s.result.guard.violations.size();
+            detections_total += s.result.detections.events.size();
             break;
           case exp::RunStatus::Outcome::Timeout:
             // Partial result: valid up to the truncated horizon, excluded
@@ -472,6 +539,9 @@ int main(int argc, char** argv) {
       }
       if (cfg.guard.enabled) {
         std::printf("guard_violations=%zu\n", guard_violations);
+      }
+      if (cfg.detector.enabled) {
+        std::printf("detections_total=%zu\n", detections_total);
       }
       if (!csv_prefix.empty()) {
         std::ofstream out(csv_prefix + "_replications.csv");
@@ -528,6 +598,21 @@ int main(int argc, char** argv) {
                   r.guard.violations.size());
       for (std::size_t i = 0; i < r.guard.violations.size() && i < 3; ++i) {
         std::printf("guard: %s\n", r.guard.violations[i].message.c_str());
+      }
+    }
+    if (cfg.detector.enabled) {
+      std::printf("detections=%zu detector_samples=%zu\n", r.detections.events.size(),
+                  r.detections.samples);
+      for (std::size_t i = 0; i < r.detections.events.size() && i < 8; ++i) {
+        const stats::DetectionEvent& e = r.detections.events[i];
+        std::string links;
+        for (std::size_t j = 0; j < e.links.size(); ++j) {
+          if (j > 0) links += ",";
+          links += std::to_string(e.links[j]);
+        }
+        std::printf("detect: t=%.0fs junction=(%d,%d) shift=%s stat=%.1f links=%s\n",
+                    e.time_s, e.row, e.col, e.direction > 0 ? "up" : "down",
+                    e.statistic, links.c_str());
       }
     }
 

@@ -54,8 +54,10 @@ bool FaultInjectedController::failure_active(double time) const {
 int FaultInjectedController::noisy(int value, const SensorFaultWindow& fault) {
   int offset = fault.bias;
   if (fault.noise_magnitude > 0) {
+    // Unbiased draw from {-m, ..., +m}: `next() % span` would over-weight the
+    // low offsets whenever span does not divide 2^64.
     const std::uint64_t span = 2ULL * static_cast<std::uint64_t>(fault.noise_magnitude) + 1;
-    offset += static_cast<int>(noise_rng_.next() % span) - fault.noise_magnitude;
+    offset += static_cast<int>(noise_rng_.bounded(span)) - fault.noise_magnitude;
   }
   return std::max(0, value + offset);
 }

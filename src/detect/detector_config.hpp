@@ -1,0 +1,44 @@
+// Scenario-level configuration of the online changepoint detector — the
+// `detector` section of the scenario schema (docs/SCENARIOS.md; model and
+// tuning guidance in docs/CHANGEPOINT.md). A pure value object like
+// scenario::GuardConfig, kept in its own header so ScenarioConfig can carry
+// it without pulling in the detection machinery.
+#pragma once
+
+namespace abp::detect {
+
+struct DetectorConfig {
+  // Master switch: when false no monitor is built and a run is bit-identical
+  // to one without a detector section.
+  bool enabled = false;
+  // Control decisions aggregated into one detector sample: each link's queue
+  // readings are averaged over this many observations and the CUSUM sees the
+  // window means. Raw per-decision readings oscillate with the signal cycle
+  // (strongly autocorrelated), which floods any CUSUM with false alarms;
+  // windows of several cycles restore the near-independent samples the
+  // detector's statistics assume. At the micro backend's 1 s control
+  // interval the default is a one-minute window.
+  int window_samples = 60;
+  // Per-stream CUSUM parameters (see cusum.hpp), in units of *window*
+  // samples: the default warmup is 4 windows (4 min at the defaults). The
+  // drift/threshold defaults were tuned empirically (docs/CHANGEPOINT.md):
+  // zero junction events across the full-hour baseline_3x3 run, detection
+  // within 2-3 windows of the incident_lane_closure center closure.
+  int warmup_samples = 4;
+  double drift = 1.5;
+  double threshold = 10.0;
+  double min_sigma = 1.0;
+  // Distinct links of one junction that must alarm within fuse_window_s for
+  // a junction-level event. 1 = any single stream suffices; the default 2
+  // filters the lone-stream excursions normal traffic produces.
+  int min_links = 2;
+  // How long a link alarm stays pending for fusion, in seconds.
+  double fuse_window_s = 120.0;
+  // Junction-level refractory period after an event, in seconds.
+  double cooldown_s = 300.0;
+  // When true the core::AdaptiveController acts on events (re-tunes its
+  // wrapped controller); false = monitor and report only.
+  bool adapt = false;
+};
+
+}  // namespace abp::detect

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/core/factory.hpp"
+#include "src/detect/detector_config.hpp"
 #include "src/microsim/params.hpp"
 #include "src/net/grid.hpp"
 #include "src/queuesim/queue_sim.hpp"
@@ -72,6 +73,10 @@ struct ScenarioConfig {
   FaultSchedule faults;
   // Opt-in runtime invariant guard (sim::SimulatorGuard).
   GuardConfig guard;
+  // Opt-in online changepoint detection over the junctions' sensor streams
+  // (detect::JunctionMonitor via core::AdaptiveController; see
+  // docs/CHANGEPOINT.md).
+  detect::DetectorConfig detector;
 };
 
 // Tick-level parallelism the config's *selected* backend will use: the

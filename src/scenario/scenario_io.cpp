@@ -22,9 +22,10 @@ namespace {
 // dumper's member order, and schema_field_paths() (the docs lint).
 
 constexpr const char* kTopKeys[] = {
-    "version", "name",  "description", "simulator", "duration_s",
+    "version", "name",  "description", "simulator",  "duration_s",
     "seed",    "grid",  "demand",      "controller", "controller_overrides",
-    "micro",   "queue", "watches",     "faults",     "guard"};
+    "micro",   "queue", "watches",     "faults",     "guard",
+    "detector"};
 constexpr const char* kGridKeys[] = {
     "rows",           "cols",     "road_length_m", "boundary_length_m",
     "speed_limit_mps", "capacity", "service_rate",  "handedness"};
@@ -71,6 +72,9 @@ constexpr const char* kSensorFaultKeys[] = {"node", "start_s",  "end_s",
                                             "kind", "bias",     "noise_magnitude"};
 constexpr const char* kControllerFaultKeys[] = {"node", "fail_s", "recover_s"};
 constexpr const char* kGuardKeys[] = {"enabled", "policy", "interval_s"};
+constexpr const char* kDetectorKeys[] = {
+    "enabled",   "window_samples", "warmup_samples", "drift",      "threshold",
+    "min_sigma", "min_links",      "fuse_window_s",  "cooldown_s", "adapt"};
 
 void check_keys(const json::Value& obj, std::span<const char* const> allowed,
                 const std::string& path) {
@@ -700,6 +704,44 @@ void load_guard(const json::Value& v, GuardConfig& guard, const std::string& pat
   if (!(guard.interval_s > 0.0)) fail(path + ".interval_s", "must be > 0");
 }
 
+void load_detector(const json::Value& v, detect::DetectorConfig& det,
+                   const std::string& path) {
+  expect_object(v, path);
+  check_keys(v, kDetectorKeys, path);
+  if (const auto* f = v.find("enabled")) det.enabled = read_bool(*f, path + ".enabled");
+  if (const auto* f = v.find("window_samples")) {
+    det.window_samples = read_int(*f, path + ".window_samples");
+  }
+  if (const auto* f = v.find("warmup_samples")) {
+    det.warmup_samples = read_int(*f, path + ".warmup_samples");
+  }
+  if (const auto* f = v.find("drift")) det.drift = read_double(*f, path + ".drift");
+  if (const auto* f = v.find("threshold")) {
+    det.threshold = read_double(*f, path + ".threshold");
+  }
+  if (const auto* f = v.find("min_sigma")) {
+    det.min_sigma = read_double(*f, path + ".min_sigma");
+  }
+  if (const auto* f = v.find("min_links")) {
+    det.min_links = read_int(*f, path + ".min_links");
+  }
+  if (const auto* f = v.find("fuse_window_s")) {
+    det.fuse_window_s = read_double(*f, path + ".fuse_window_s");
+  }
+  if (const auto* f = v.find("cooldown_s")) {
+    det.cooldown_s = read_double(*f, path + ".cooldown_s");
+  }
+  if (const auto* f = v.find("adapt")) det.adapt = read_bool(*f, path + ".adapt");
+  if (det.window_samples < 1) fail(path + ".window_samples", "must be >= 1");
+  if (det.warmup_samples < 1) fail(path + ".warmup_samples", "must be >= 1");
+  if (!(det.drift >= 0.0)) fail(path + ".drift", "must be >= 0");
+  if (!(det.threshold > 0.0)) fail(path + ".threshold", "must be > 0");
+  if (!(det.min_sigma > 0.0)) fail(path + ".min_sigma", "must be > 0");
+  if (det.min_links < 1) fail(path + ".min_links", "must be >= 1");
+  if (!(det.fuse_window_s > 0.0)) fail(path + ".fuse_window_s", "must be > 0");
+  if (!(det.cooldown_s >= 0.0)) fail(path + ".cooldown_s", "must be >= 0");
+}
+
 // --- Section dumpers --------------------------------------------------------
 
 json::Value dump_node(const GridNodeRef& node) {
@@ -763,9 +805,10 @@ ScenarioConfig load_scenario(std::string_view json_text) {
   const json::Value* version = doc.find("version");
   if (version == nullptr) fail("version", "required field is missing");
   const int v = read_int(*version, "version");
-  if (v != kScenarioSchemaVersion) {
+  if (v < kScenarioSchemaVersionMin || v > kScenarioSchemaVersion) {
     fail("version", "unsupported schema version " + std::to_string(v) +
-                        " (this build reads version " +
+                        " (this build reads versions " +
+                        std::to_string(kScenarioSchemaVersionMin) + " through " +
                         std::to_string(kScenarioSchemaVersion) + ")");
   }
 
@@ -817,6 +860,7 @@ ScenarioConfig load_scenario(std::string_view json_text) {
   if (const auto* f = doc.find("watches")) load_watches(*f, cfg.watches, "watches");
   if (const auto* f = doc.find("faults")) load_faults(*f, cfg.faults, "faults");
   if (const auto* f = doc.find("guard")) load_guard(*f, cfg.guard, "guard");
+  if (const auto* f = doc.find("detector")) load_detector(*f, cfg.detector, "detector");
   return cfg;
 }
 
@@ -990,6 +1034,19 @@ std::string dump_scenario(const ScenarioConfig& config) {
   guard.set("interval_s", json::Value::number(config.guard.interval_s));
   doc.set("guard", std::move(guard));
 
+  json::Value detector = json::Value::object();
+  detector.set("enabled", json::Value::boolean(config.detector.enabled));
+  detector.set("window_samples", json::Value::number(config.detector.window_samples));
+  detector.set("warmup_samples", json::Value::number(config.detector.warmup_samples));
+  detector.set("drift", json::Value::number(config.detector.drift));
+  detector.set("threshold", json::Value::number(config.detector.threshold));
+  detector.set("min_sigma", json::Value::number(config.detector.min_sigma));
+  detector.set("min_links", json::Value::number(config.detector.min_links));
+  detector.set("fuse_window_s", json::Value::number(config.detector.fuse_window_s));
+  detector.set("cooldown_s", json::Value::number(config.detector.cooldown_s));
+  detector.set("adapt", json::Value::boolean(config.detector.adapt));
+  doc.set("detector", std::move(detector));
+
   return json::dump(doc);
 }
 
@@ -1027,6 +1084,7 @@ std::vector<std::string> schema_field_paths() {
   add("faults.controllers[]", kControllerFaultKeys);
   add("faults.controllers[].node", kNodeKeys);
   add("guard", kGuardKeys);
+  add("detector", kDetectorKeys);
   return out;
 }
 

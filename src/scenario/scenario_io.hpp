@@ -39,9 +39,13 @@
 
 namespace abp::scenario {
 
-// The schema version this build reads and writes (the file's required
-// top-level "version" field). Bumped only for incompatible schema changes.
-inline constexpr int kScenarioSchemaVersion = 1;
+// The schema version this build writes (the file's required top-level
+// "version" field). Bumped only for schema changes; the loader also accepts
+// kScenarioSchemaVersionMin, since every older document is a valid newer one
+// (new sections are optional with behavior-preserving defaults). Version 2
+// added the optional "detector" section (online changepoint detection).
+inline constexpr int kScenarioSchemaVersion = 2;
+inline constexpr int kScenarioSchemaVersionMin = 1;
 
 // Load/validate failure with the dotted path of the offending field.
 // what() == "<path>: <problem>".

@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "src/core/adaptive_controller.hpp"
 #include "src/core/factory.hpp"
 #include "src/core/fault_controller.hpp"
 #include "src/microsim/micro_sim.hpp"
@@ -68,15 +69,55 @@ const core::ControllerSpec& effective_spec(const scenario::ScenarioConfig& confi
   return *spec;
 }
 
+// The incident-tuned variant of a spec, for AdaptiveController's upward-shift
+// mode (docs/CHANGEPOINT.md, "Re-tuning"). The shared idea: under a detected
+// overload regime, hold phases longer — every transition inserts an amber
+// interval that serves nobody, and amber loss is pure waste precisely when
+// every approach is saturated. Returns nullopt when the policy has no useful
+// variant (classical fixed-time; UTIL-BP already holding maximally):
+// adaptation then degrades to reset-on-detection.
+std::optional<core::ControllerSpec> retuned_spec(const core::ControllerSpec& spec) {
+  core::ControllerSpec tuned = spec;
+  switch (spec.type) {
+    case core::ControllerType::UtilBp:
+      // G* = 0 removes the sentinel's early-switch pressure: phases hold
+      // until the backlog comparison itself flips, trading responsiveness
+      // for fewer amber insertions.
+      if (spec.util.gstar_policy == core::GStarPolicy::Zero) return std::nullopt;
+      tuned.util.gstar_policy = core::GStarPolicy::Zero;
+      return tuned;
+    case core::ControllerType::CapBp:
+    case core::ControllerType::OriginalBp:
+      // Double the slot period: half the decision (and amber) rate. Also
+      // force the work-conserving fallback — idling a whole doubled slot
+      // would be twice as costly.
+      tuned.fixed_slot.period_s = 2.0 * spec.fixed_slot.period_s;
+      tuned.fixed_slot.work_conserving = true;
+      return tuned;
+    case core::ControllerType::FixedTime:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
 // One controller per intersection — the run-wide spec with any per-junction
-// overrides applied — with the junctions named by the fault schedule wrapped
-// in a core::FaultInjectedController. Junctions without faults keep their
-// plain controller — a run with an empty schedule builds exactly the
-// controller set it always has.
+// overrides applied — wrapped (inside out) in a core::AdaptiveController when
+// the scenario enables the changepoint detector, and in a
+// core::FaultInjectedController at the junctions named by the fault schedule.
+// That order puts the monitor behind the fault decorator, so it watches
+// exactly the possibly-faulted readings the policy acts on. Junctions without
+// faults in a detector-free run keep their plain controller — a run with an
+// empty schedule builds exactly the controller set it always has.
+//
+// When `monitors` is non-null it receives one AdaptiveController pointer per
+// junction (in junction-index order); the pointees are owned by the returned
+// controllers (directly or via their fault wrapper) and stay stable for the
+// simulator's lifetime.
 std::vector<core::ControllerPtr> make_run_controllers(
-    const scenario::ScenarioConfig& config, const net::Network& network) {
+    const scenario::ScenarioConfig& config, const net::Network& network,
+    std::vector<const core::AdaptiveController*>* monitors) {
   std::vector<core::ControllerPtr> controllers;
-  if (config.controller_overrides.empty()) {
+  if (config.controller_overrides.empty() && !config.detector.enabled) {
     controllers = core::make_controllers(config.controller, network);
   } else {
     // Validate every override (resolve_node throws on out-of-grid nodes) and
@@ -87,8 +128,23 @@ std::vector<core::ControllerPtr> make_run_controllers(
       cap = std::max(cap, static_cast<double>(road.capacity));
     }
     for (const net::Intersection& node : network.intersections()) {
-      controllers.push_back(core::make_controller(
-          effective_spec(config, network, node.id), core::make_plan(network, node), cap));
+      const core::ControllerSpec& spec = effective_spec(config, network, node.id);
+      core::ControllerPtr controller =
+          core::make_controller(spec, core::make_plan(network, node), cap);
+      if (config.detector.enabled) {
+        core::ControllerPtr tuned;
+        if (const auto tuned_spec = retuned_spec(spec)) {
+          tuned = core::make_controller(*tuned_spec, core::make_plan(network, node), cap);
+        }
+        auto adaptive = std::make_unique<core::AdaptiveController>(
+            std::move(controller), std::move(tuned),
+            detect::JunctionMonitor(config.detector,
+                                    static_cast<int>(node.links.size()),
+                                    node.grid_row, node.grid_col));
+        if (monitors != nullptr) monitors->push_back(adaptive.get());
+        controller = std::move(adaptive);
+      }
+      controllers.push_back(std::move(controller));
     }
   }
   if (config.faults.sensors.empty() && config.faults.controllers.empty()) {
@@ -203,8 +259,9 @@ class BackendSimulator final : public Simulator {
   explicit BackendSimulator(const scenario::ScenarioConfig& config)
       : network_(build_validated(config.grid)),
         demand_(network_, config.demand, config.seed),
-        sim_(construct_backend<Backend>(config, network_, demand_,
-                                        make_run_controllers(config, network_))),
+        sim_(construct_backend<Backend>(
+            config, network_, demand_,
+            make_run_controllers(config, network_, &adaptive_))),
         events_(build_capacity_events(config, network_)) {
     if (config.guard.enabled) {
       if (!(config.guard.interval_s > 0.0)) {
@@ -222,7 +279,7 @@ class BackendSimulator final : public Simulator {
   }
 
   stats::RunResult& run_until(double until_s) override {
-    if (plain_) return sim_.run_until(until_s);
+    if (plain_) return export_detections(sim_.run_until(until_s));
     for (;;) {
       double target = until_s;
       if (next_event_ < events_.size()) {
@@ -241,13 +298,14 @@ class BackendSimulator final : public Simulator {
         // triggers one check, not a burst of catch-up checks.
         while (next_guard_s_ <= now_s) next_guard_s_ += guard_interval_s_;
       }
-      if (now_s >= until_s) return result;
+      if (now_s >= until_s) return export_detections(result);
     }
   }
 
   stats::RunResult finish(double duration_s) override {
     if (!plain_) run_until(duration_s);
     stats::RunResult result = sim_.finish(duration_s);
+    export_detections(result);
     // Final check on the closed books: end-of-run accounting (records closed
     // by finish) must still conserve vehicles.
     if (guard_) guard_->check(*this, result.metrics, result.guard);
@@ -270,8 +328,35 @@ class BackendSimulator final : public Simulator {
   [[nodiscard]] const net::Network& network() const noexcept override { return network_; }
 
  private:
+  // Rebuilds result.detections from the junction monitors: events merged
+  // into one stream ordered by (time, row, col), samples summed. Junction
+  // streams are already time-sorted, and at equal times junction-index order
+  // is (row, col) order, so a stable sort by time alone yields the canonical
+  // order. No-op (and detections stays empty) in a detector-free run.
+  stats::RunResult& export_detections(stats::RunResult& result) {
+    if (adaptive_.empty()) return result;
+    result.detections.samples = 0;
+    result.detections.events.clear();
+    for (const core::AdaptiveController* controller : adaptive_) {
+      const detect::JunctionMonitor& monitor = controller->monitor();
+      result.detections.samples += monitor.samples();
+      result.detections.events.insert(result.detections.events.end(),
+                                      monitor.events().begin(),
+                                      monitor.events().end());
+    }
+    std::stable_sort(result.detections.events.begin(), result.detections.events.end(),
+                     [](const stats::DetectionEvent& a, const stats::DetectionEvent& b) {
+                       return a.time_s < b.time_s;
+                     });
+    return result;
+  }
+
   net::Network network_;
   traffic::DemandGenerator demand_;
+  // AdaptiveController per junction when the detector is enabled (empty
+  // otherwise); pointees owned by sim_'s controllers. Declared before sim_:
+  // filled while sim_'s initializer builds the controller set.
+  std::vector<const core::AdaptiveController*> adaptive_;
   Backend sim_;
   // Time-sorted capacity events; next_event_ is the first not yet applied.
   std::vector<CapacityEvent> events_;
@@ -288,6 +373,31 @@ class BackendSimulator final : public Simulator {
 
 std::unique_ptr<Simulator> make_simulator(const scenario::ScenarioConfig& config) {
   scenario::validate_or_throw(config.faults);
+  if (config.detector.enabled) {
+    const detect::DetectorConfig& d = config.detector;
+    if (d.window_samples < 1) {
+      throw std::invalid_argument("detector window_samples must be at least 1");
+    }
+    if (d.warmup_samples < 1) {
+      throw std::invalid_argument("detector warmup_samples must be at least 1");
+    }
+    if (!(d.drift >= 0.0)) throw std::invalid_argument("detector drift must be >= 0");
+    if (!(d.threshold > 0.0)) {
+      throw std::invalid_argument("detector threshold must be positive");
+    }
+    if (!(d.min_sigma > 0.0)) {
+      throw std::invalid_argument("detector min_sigma must be positive");
+    }
+    if (d.min_links < 1) {
+      throw std::invalid_argument("detector min_links must be at least 1");
+    }
+    if (!(d.fuse_window_s > 0.0)) {
+      throw std::invalid_argument("detector fuse_window_s must be positive");
+    }
+    if (!(d.cooldown_s >= 0.0)) {
+      throw std::invalid_argument("detector cooldown_s must be >= 0");
+    }
+  }
   std::unique_ptr<Simulator> sim;
   if (config.simulator == scenario::SimulatorKind::Micro) {
     sim = std::make_unique<BackendSimulator<microsim::MicroSim>>(config);

@@ -23,6 +23,31 @@ struct GuardReport {
   std::vector<GuardViolation> violations;
 };
 
+// One junction-level regime-shift event raised by the online changepoint
+// monitor (detect::JunctionMonitor; see docs/CHANGEPOINT.md).
+struct DetectionEvent {
+  double time_s = 0.0;
+  // Grid coordinates of the junction that raised the event.
+  int row = 0;
+  int col = 0;
+  // +1 = upward mean shift (surge onset, incident spillback), -1 = downward
+  // (recovery, detectors going quiet).
+  int direction = 0;
+  // The CUSUM statistic that crossed the threshold, in baseline-sigma units.
+  double statistic = 0.0;
+  // Implicated local link indices (canonical intersection link order),
+  // ascending — the fused root-cause set.
+  std::vector<int> links;
+};
+
+struct DetectionReport {
+  // Observations consumed across all junction monitors; 0 when no detector
+  // was configured.
+  std::size_t samples = 0;
+  // All junction events of the run, ordered by (time, row, col).
+  std::vector<DetectionEvent> events;
+};
+
 struct RunResult {
   NetworkMetrics metrics;
   // One trace per intersection, indexed by IntersectionId::index().
@@ -38,6 +63,9 @@ struct RunResult {
   // Runtime invariant-guard report (empty unless ScenarioConfig::guard is
   // enabled; violations only under GuardPolicy::Record).
   GuardReport guard;
+  // Online changepoint-detection report (empty unless
+  // ScenarioConfig::detector is enabled).
+  DetectionReport detections;
 };
 
 }  // namespace abp::stats

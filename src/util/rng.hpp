@@ -148,6 +148,28 @@ class StreamRng {
     counter_ += n;
   }
 
+  // Uniform integer in [0, bound), unbiased, for bound >= 1. Lemire's
+  // multiply-shift rejection (Lemire 2019, "Fast Random Integer Generation in
+  // an Interval"): the naive `next() % bound` over-weights the low residues
+  // whenever bound does not divide 2^64 — a small but real skew that a
+  // uniformity test can pin. The widening multiply maps a 64-bit word onto
+  // [0, bound) with its fractional part in the low word; only draws landing
+  // in the partial (short) slice are rejected and redrawn, so almost every
+  // call costs exactly one next(). Each accepted value consumes at least one
+  // counter step, so bounded draws compose with the counter-accounting
+  // contract like any other draw.
+  std::uint64_t bounded(std::uint64_t bound) noexcept {
+    for (;;) {
+      const std::uint64_t word = next();
+      unsigned __int128 product =
+          static_cast<unsigned __int128>(word) * static_cast<unsigned __int128>(bound);
+      const std::uint64_t low = static_cast<std::uint64_t>(product);
+      if (low >= bound || low >= (0ULL - bound) % bound) {
+        return static_cast<std::uint64_t>(product >> 64);
+      }
+    }
+  }
+
   // Number of draws consumed so far; settable for replay/skip-ahead.
   [[nodiscard]] std::uint64_t counter() const noexcept { return counter_; }
   void set_counter(std::uint64_t counter) noexcept { counter_ = counter; }

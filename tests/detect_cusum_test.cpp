@@ -1,0 +1,231 @@
+// Unit tests for the streaming changepoint machinery: the single-stream
+// two-sided CUSUM detector and the per-junction multi-stream monitor that
+// fuses link alarms into junction events.
+#include "src/detect/cusum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/observation.hpp"
+#include "src/detect/junction_monitor.hpp"
+
+namespace abp {
+namespace {
+
+detect::CusumConfig test_config() {
+  detect::CusumConfig cfg;
+  cfg.warmup_samples = 8;
+  cfg.drift = 0.5;
+  cfg.threshold = 12.0;
+  cfg.min_sigma = 1.0;
+  return cfg;
+}
+
+TEST(CusumDetector, WarmupIsSilent) {
+  detect::CusumDetector d(test_config());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(d.warmed_up());
+    EXPECT_EQ(d.update(10.0), 0);
+  }
+  EXPECT_TRUE(d.warmed_up());
+}
+
+TEST(CusumDetector, BaselineEstimatesMatchTheWarmupData) {
+  detect::CusumDetector d(test_config());
+  for (int i = 1; i <= 8; ++i) d.update(static_cast<double>(i));
+  EXPECT_NEAR(d.baseline_mean(), 4.5, 1e-12);
+  // Population variance of 1..8 is 5.25.
+  EXPECT_NEAR(d.baseline_sigma(), std::sqrt(5.25), 1e-12);
+}
+
+TEST(CusumDetector, FlatWarmupSigmaIsFlooredAtMinSigma) {
+  detect::CusumDetector d(test_config());
+  for (int i = 0; i < 8; ++i) d.update(5.0);
+  EXPECT_EQ(d.baseline_sigma(), 1.0);
+}
+
+TEST(CusumDetector, UpwardStepIsFlaggedPlusOne) {
+  detect::CusumDetector d(test_config());
+  for (int i = 0; i < 8; ++i) d.update(10.0);
+  // Sigma floors at 1, so the step to 20 standardizes to z = 10 and g+
+  // accumulates 9.5 per sample: below threshold after one, above after two.
+  EXPECT_EQ(d.update(20.0), 0);
+  EXPECT_EQ(d.update(20.0), +1);
+  EXPECT_GT(d.statistic(), d.config().threshold);
+}
+
+TEST(CusumDetector, DownwardStepIsFlaggedMinusOne) {
+  detect::CusumDetector d(test_config());
+  for (int i = 0; i < 8; ++i) d.update(10.0);
+  EXPECT_EQ(d.update(0.0), 0);
+  EXPECT_EQ(d.update(0.0), -1);
+}
+
+TEST(CusumDetector, WobbleBelowDriftNeverAccumulates) {
+  detect::CusumDetector d(test_config());
+  for (int i = 0; i < 8; ++i) d.update(10.0);
+  // |z| = 0.4 < drift = 0.5 on every sample: both statistics stay clamped
+  // at zero no matter how long the wobble lasts.
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(d.update(i % 2 == 0 ? 10.4 : 9.6), 0);
+  }
+  EXPECT_EQ(d.statistic(), 0.0);
+}
+
+TEST(CusumDetector, DetectionReArmsIntoWarmupOnTheNewRegime) {
+  detect::CusumDetector d(test_config());
+  for (int i = 0; i < 8; ++i) d.update(10.0);
+  while (d.update(30.0) == 0) {
+  }
+  // Post-detection the detector re-baselines: warmup runs again, this time
+  // over the shifted level.
+  EXPECT_FALSE(d.warmed_up());
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(d.update(30.0), 0);
+  EXPECT_TRUE(d.warmed_up());
+  EXPECT_NEAR(d.baseline_mean(), 30.0, 1e-12);
+  // The new regime itself no longer alarms...
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(d.update(30.0), 0);
+  // ...but its restoration registers as a downward shift.
+  int flagged = 0;
+  for (int i = 0; i < 10 && flagged == 0; ++i) flagged = d.update(10.0);
+  EXPECT_EQ(flagged, -1);
+}
+
+TEST(CusumDetector, ResetRestoresTheInitialState) {
+  detect::CusumDetector d(test_config());
+  for (int i = 0; i < 8; ++i) d.update(10.0);
+  d.update(25.0);
+  d.reset();
+  EXPECT_FALSE(d.warmed_up());
+  EXPECT_EQ(d.statistic(), 0.0);
+  // A reset detector replays the fresh-construction behavior bit for bit.
+  detect::CusumDetector fresh(test_config());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(d.update(10.0), fresh.update(10.0));
+  }
+  EXPECT_EQ(d.baseline_mean(), fresh.baseline_mean());
+  EXPECT_EQ(d.update(20.0), 0);
+  EXPECT_EQ(d.update(20.0), +1);
+}
+
+// --- JunctionMonitor: window aggregation, fusion, cooldown ---
+
+core::IntersectionObservation make_obs(double time, const std::vector<int>& queues) {
+  core::IntersectionObservation obs;
+  obs.time = time;
+  obs.links.resize(queues.size());
+  for (std::size_t i = 0; i < queues.size(); ++i) obs.links[i].queue = queues[i];
+  return obs;
+}
+
+detect::DetectorConfig monitor_config() {
+  detect::DetectorConfig cfg;
+  cfg.enabled = true;
+  cfg.window_samples = 1;  // every decision is its own window
+  cfg.warmup_samples = 6;
+  cfg.drift = 0.5;
+  cfg.threshold = 10.0;
+  cfg.min_sigma = 1.0;
+  cfg.min_links = 2;
+  cfg.fuse_window_s = 5.0;
+  cfg.cooldown_s = 100.0;
+  return cfg;
+}
+
+TEST(JunctionMonitor, SingleLinkAlarmIsNotAJunctionEvent) {
+  detect::JunctionMonitor monitor(monitor_config(), 3, 1, 2);
+  double t = 0.0;
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(monitor.update(make_obs(t++, {5, 5, 5})), nullptr);
+  // Only link 0 shifts: it alarms, stays pending, ages out — with
+  // min_links = 2 the junction never fires.
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(monitor.update(make_obs(t++, {50, 5, 5})), nullptr);
+  EXPECT_TRUE(monitor.events().empty());
+  EXPECT_EQ(monitor.samples(), 46u);
+}
+
+TEST(JunctionMonitor, CoincidentLinkAlarmsFuseIntoOneEvent) {
+  detect::JunctionMonitor monitor(monitor_config(), 3, 1, 2);
+  double t = 0.0;
+  for (int i = 0; i < 6; ++i) monitor.update(make_obs(t++, {5, 5, 5}));
+  const stats::DetectionEvent* event = nullptr;
+  for (int i = 0; i < 10 && event == nullptr; ++i) {
+    event = monitor.update(make_obs(t++, {50, 5, 50}));
+  }
+  ASSERT_NE(event, nullptr);
+  EXPECT_EQ(event->row, 1);
+  EXPECT_EQ(event->col, 2);
+  EXPECT_EQ(event->direction, +1);
+  EXPECT_GT(event->statistic, monitor.config().threshold);
+  // The implicated set names exactly the shifted links, ascending.
+  ASSERT_EQ(event->links.size(), 2u);
+  EXPECT_EQ(event->links[0], 0);
+  EXPECT_EQ(event->links[1], 2);
+  EXPECT_EQ(monitor.events().size(), 1u);
+}
+
+TEST(JunctionMonitor, CooldownSuppressesTheFollowUpAndThenExpires) {
+  detect::DetectorConfig cfg = monitor_config();
+  cfg.cooldown_s = 50.0;
+  detect::JunctionMonitor monitor(cfg, 2, 0, 0);
+  double t = 0.0;
+  for (int i = 0; i < 6; ++i) monitor.update(make_obs(t++, {5, 5}));
+  // First shift: both links alarm and fuse.
+  while (monitor.events().empty()) monitor.update(make_obs(t++, {50, 50}));
+  const double first_time = monitor.events().front().time_s;
+  // Let the detectors re-baseline onto the new level, then shift again while
+  // still inside the cooldown: the alarms go pending but no event fuses.
+  for (int i = 0; i < 8; ++i) monitor.update(make_obs(t++, {50, 50}));
+  for (int i = 0; i < 10; ++i) monitor.update(make_obs(t++, {120, 120}));
+  EXPECT_EQ(monitor.events().size(), 1u);
+  // Past the cooldown a fresh shift fuses into a second event.
+  while (t < first_time + cfg.cooldown_s + 10.0) monitor.update(make_obs(t++, {120, 120}));
+  while (monitor.events().size() < 2u) monitor.update(make_obs(t++, {5, 5}));
+  EXPECT_EQ(monitor.events().back().direction, -1);
+  EXPECT_GE(monitor.events().back().time_s, first_time + cfg.cooldown_s);
+}
+
+TEST(JunctionMonitor, WindowMeansAreWhatTheDetectorsSee) {
+  detect::DetectorConfig cfg = monitor_config();
+  cfg.window_samples = 4;
+  cfg.min_links = 1;
+  detect::JunctionMonitor monitor(cfg, 1, 0, 0);
+  double t = 0.0;
+  // 6 windows x 4 samples of a cycle alternating 0/0/20/20: the per-window
+  // mean is flat at 10, so the cycle never reaches the detector.
+  for (int w = 0; w < 6; ++w) {
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_EQ(monitor.update(make_obs(t++, {s < 2 ? 0 : 20})), nullptr);
+    }
+  }
+  // A level shift of the same cycle (+30 on every reading) moves the window
+  // mean and is detected.
+  const stats::DetectionEvent* event = nullptr;
+  for (int w = 0; w < 8 && event == nullptr; ++w) {
+    for (int s = 0; s < 4 && event == nullptr; ++s) {
+      event = monitor.update(make_obs(t++, {(s < 2 ? 0 : 20) + 30}));
+    }
+  }
+  ASSERT_NE(event, nullptr);
+  EXPECT_EQ(event->direction, +1);
+}
+
+TEST(JunctionMonitor, ResetRestoresAFreshMonitor) {
+  detect::JunctionMonitor monitor(monitor_config(), 2, 0, 1);
+  double t = 0.0;
+  for (int i = 0; i < 6; ++i) monitor.update(make_obs(t++, {5, 5}));
+  while (monitor.events().empty()) monitor.update(make_obs(t++, {60, 60}));
+  monitor.reset();
+  EXPECT_TRUE(monitor.events().empty());
+  EXPECT_EQ(monitor.samples(), 0u);
+  // Replays the from-scratch behavior: warmup first, then the same shift
+  // fires again even though it fired (and entered cooldown) before reset.
+  t = 0.0;
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(monitor.update(make_obs(t++, {5, 5})), nullptr);
+  while (monitor.events().empty()) monitor.update(make_obs(t++, {60, 60}));
+  EXPECT_EQ(monitor.events().size(), 1u);
+}
+
+}  // namespace
+}  // namespace abp

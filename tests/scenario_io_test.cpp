@@ -34,8 +34,20 @@ TEST(ScenarioIoTest, EmptyObjectNeedsVersion) {
 }
 
 TEST(ScenarioIoTest, UnsupportedVersionIsRejected) {
-  ExpectLoadError(R"({"version": 2})",
-                  "version: unsupported schema version 2 (this build reads version 1)");
+  ExpectLoadError(
+      R"({"version": 3})",
+      "version: unsupported schema version 3 (this build reads versions 1 through 2)");
+  ExpectLoadError(
+      R"({"version": 0})",
+      "version: unsupported schema version 0 (this build reads versions 1 through 2)");
+}
+
+TEST(ScenarioIoTest, OlderSchemaVersionsStillLoad) {
+  // Version 1 predates the detector section; a v1 document loads with the
+  // detector at its disabled default and re-dumps at the current version.
+  const ScenarioConfig cfg = load_scenario(R"({"version": 1})");
+  EXPECT_FALSE(cfg.detector.enabled);
+  EXPECT_NE(dump_scenario(cfg).find("\"version\": 2"), std::string::npos);
 }
 
 TEST(ScenarioIoTest, MinimalScenarioLoadsDefaults) {

@@ -316,6 +316,47 @@ TEST_P(StreamRngBulkFill, TailFirstFillIsTheReversedBulkFill) {
 INSTANTIATE_TEST_SUITE_P(BatchSizes, StreamRngBulkFill,
                          ::testing::Values(0u, 1u, 3u, 4u, 17u));
 
+TEST(StreamRng, BoundedStaysInRange) {
+  StreamRng rng(7, 1);
+  for (const std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 33}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.bounded(bound), bound) << "bound " << bound;
+    }
+  }
+}
+
+TEST(StreamRng, BoundedOneIsAlwaysZero) {
+  StreamRng rng(11, 2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(StreamRng, BoundedIsDeterministic) {
+  StreamRng a(2020, 17);
+  StreamRng b(2020, 17);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.bounded(97), b.bounded(97));
+}
+
+TEST(StreamRng, BoundedIsUnbiased) {
+  // The draw this replaced (`next() % span`) over-represents the low
+  // residues whenever span does not divide 2^64. Rejection sampling must
+  // not: every residue's count stays within chi-square-style slack of the
+  // expectation, including spans adjacent to a power of two where modulo
+  // bias is at its relative worst.
+  for (const std::uint64_t bound : {3ull, 7ull, 10ull, (1ull << 4) + 1}) {
+    StreamRng rng(123, bound);
+    constexpr int kDraws = 200000;
+    std::vector<int> counts(static_cast<std::size_t>(bound), 0);
+    for (int i = 0; i < kDraws; ++i) {
+      ++counts[static_cast<std::size_t>(rng.bounded(bound))];
+    }
+    const double expected = static_cast<double>(kDraws) / static_cast<double>(bound);
+    for (std::uint64_t r = 0; r < bound; ++r) {
+      EXPECT_NEAR(counts[static_cast<std::size_t>(r)], expected, 5.0 * std::sqrt(expected))
+          << "residue " << r << " of bound " << bound;
+    }
+  }
+}
+
 TEST(StreamRng, BitMixSpreadsAcrossWords) {
   // Crude avalanche check: consecutive counters should flip about half the
   // output bits on average — a Weyl-style weak mix would fail this wildly.
