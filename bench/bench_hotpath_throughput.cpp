@@ -255,6 +255,30 @@ int main(int argc, char** argv) {
       emit(run_micro(net, duration_s, seed, n, threads));
     }
   }
+  // Metro-scale rows (shard-payoff baseline, same schema): 16x16 and 32x32
+  // carry 4x / 16x the vehicles of the 8x8, so they run a proportionally
+  // shorter horizon to keep the bench's wall time bounded. Throughput in
+  // vehicle-steps/s is horizon-independent once the grid is loaded, and each
+  // row records its own sim_seconds, so compare_hotpath.py gates them like
+  // any other row.
+  struct BigGrid {
+    int n;
+    double horizon_scale;
+  };
+  const BigGrid big_grids[] = {{16, 0.125}, {32, 0.0625}};
+  for (const BigGrid& bg : big_grids) {
+    net::GridConfig grid_cfg;
+    grid_cfg.rows = bg.n;
+    grid_cfg.cols = bg.n;
+    const net::Network net = net::build_grid(grid_cfg);
+    const double big_duration_s = duration_s * bg.horizon_scale;
+    for (int threads : sim_threads) {
+      emit(run_queue(net, big_duration_s, seed, bg.n, threads));
+    }
+    for (int threads : sim_threads) {
+      emit(run_micro(net, big_duration_s, seed, bg.n, threads));
+    }
+  }
   // Run-level parallelism rows: 8-replication fleets on the 4x4 grid through
   // the ExperimentRunner (threads column = runner jobs).
   for (int jobs : sim_threads) {

@@ -1,0 +1,169 @@
+// Shard-scaling bench: vehicle-steps per wall-clock second on metro-scale
+// square grids (16x16, 32x32, 64x64) at shard counts {1, 2, 4}, for both
+// simulators, through the unified sim::Simulator interface — so the 1-shard
+// rows run the monolithic backend and the K-shard rows run the forked
+// multi-process coordinator (docs/SHARDING.md), exactly as `abp_cli
+// --shards` would. The K-shard results are bit-identical to the 1-shard
+// ones (pinned by tests/shard_invariance_test.cpp), so every row pair is a
+// pure throughput comparison.
+//
+// Schema mirrors BENCH_hotpath.json (docs/PERFORMANCE.md) plus a "shards"
+// field per row. The horizon shrinks with grid area like bench_hotpath's
+// metro rows do — throughput in vehicle-steps/s is horizon-independent once
+// the grid is loaded — and ABP_FAST=1 scales it down a further 10x for
+// smoke runs. The JSON path defaults to BENCH_shard.json in the working
+// directory and is overridable as argv[1]; CI gates the 4-shard speedup on
+// >=32x32 grids with bench/compare_shard.py (multi-core runners only — a
+// single-vCPU box records the contention cost instead of refusing to run).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/scenario/scenario.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace abp::bench {
+namespace {
+
+constexpr const char* kCompiler =
+#if defined(__clang__)
+    "clang " __clang_version__;
+#elif defined(__GNUC__)
+    "gcc " __VERSION__;
+#else
+    "unknown";
+#endif
+
+struct Row {
+  int grid = 0;
+  std::string sim;
+  int shards = 1;
+  double sim_seconds = 0.0;
+  long long vehicle_steps = 0;  // sum over ticks of vehicles in the network
+  std::size_t completed = 0;
+  double wall_seconds = 0.0;
+  [[nodiscard]] double vehicle_steps_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(vehicle_steps) / wall_seconds : 0.0;
+  }
+  [[nodiscard]] double ns_per_vehicle_step() const {
+    return vehicle_steps > 0 ? wall_seconds * 1e9 / static_cast<double>(vehicle_steps)
+                             : 0.0;
+  }
+};
+
+Row run_one(scenario::SimulatorKind kind, const char* name, int n, int shards,
+            double duration_s, std::uint64_t seed) {
+  scenario::ScenarioConfig cfg =
+      scenario::paper_scenario(traffic::PatternKind::II, core::ControllerType::UtilBp);
+  cfg.grid.rows = n;
+  cfg.grid.cols = n;
+  cfg.simulator = kind;
+  cfg.duration_s = duration_s;
+  cfg.seed = seed;
+  cfg.shard.count = shards;
+  // Like bench_hotpath's thread rows: measure whatever the host gives — a
+  // small box records the oversubscription cost instead of refusing to run.
+  cfg.shard.allow_oversubscribe = true;
+  const double dt_s =
+      kind == scenario::SimulatorKind::Micro ? cfg.micro.dt_s : cfg.queue.step_s;
+
+  Row row;
+  row.grid = n;
+  row.sim = name;
+  row.shards = shards;
+  row.sim_seconds = duration_s;
+  const double ticks_per_second = 1.0 / dt_s;
+  const auto start = std::chrono::steady_clock::now();
+  const std::unique_ptr<sim::Simulator> sim = sim::make_simulator(cfg);
+  // Sample occupancy once per simulated second (a K-query round trip on the
+  // sharded path) — the same estimator bench_hotpath uses, so the two
+  // benches' vehicle-steps columns are directly comparable.
+  for (double t = 1.0; t <= duration_s; t += 1.0) {
+    sim->run_until(t);
+    row.vehicle_steps +=
+        static_cast<long long>(sim->vehicles_in_network() * ticks_per_second);
+  }
+  const stats::RunResult result = sim->finish(duration_s);
+  row.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  row.completed = result.metrics.completed;
+  return row;
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"shard_scaling\",\n"
+      << "  \"compiler\": \"" << kCompiler << "\",\n"
+      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"grid\": \"" << r.grid << "x" << r.grid << "\", \"sim\": \"" << r.sim
+        << "\", \"shards\": " << r.shards << ", \"sim_seconds\": " << r.sim_seconds
+        << ", \"vehicle_steps\": " << r.vehicle_steps
+        << ", \"completed\": " << r.completed << ", \"wall_seconds\": " << r.wall_seconds
+        << ", \"vehicle_steps_per_sec\": " << r.vehicle_steps_per_sec()
+        << ", \"ns_per_vehicle_step\": " << r.ns_per_vehicle_step() << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "[json] " << path << "\n";
+}
+
+}  // namespace
+}  // namespace abp::bench
+
+int main(int argc, char** argv) {
+  using namespace abp;
+  using namespace abp::bench;
+
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_shard.json";
+  const std::uint64_t seed = 2020;
+  const int shard_counts[] = {1, 2, 4};
+  // Horizon shrinks with grid area (the 64x64 carries 16x the vehicles of
+  // the 16x16), keeping every row's wall time in the same ballpark.
+  struct Grid {
+    int n;
+    double horizon_scale;
+  };
+  const Grid grids[] = {{16, 0.125}, {32, 0.0625}, {64, 0.03125}};
+
+  print_header("Shard scaling (vehicle-steps per wall-clock second)");
+  std::printf("compiler: %s, hardware threads: %u\n", kCompiler,
+              std::thread::hardware_concurrency());
+  std::printf("%-7s %-7s %7s %14s %12s %10s %16s %14s\n", "grid", "sim", "shards",
+              "vehicle-steps", "completed", "wall [s]", "veh-steps/s", "ns/veh-step");
+
+  std::vector<Row> rows;
+  std::ofstream csv = open_csv("shard_scaling");
+  csv << "grid,sim,shards,sim_seconds,vehicle_steps,completed,wall_seconds,"
+         "vehicle_steps_per_sec,ns_per_vehicle_step\n";
+  auto emit = [&](Row row) {
+    std::printf("%dx%-4d %-7s %7d %14lld %12zu %10.2f %16.0f %14.2f\n", row.grid,
+                row.grid, row.sim.c_str(), row.shards, row.vehicle_steps, row.completed,
+                row.wall_seconds, row.vehicle_steps_per_sec(), row.ns_per_vehicle_step());
+    std::fflush(stdout);
+    csv << row.grid << "x" << row.grid << "," << row.sim << "," << row.shards << ","
+        << row.sim_seconds << "," << row.vehicle_steps << "," << row.completed << ","
+        << row.wall_seconds << "," << row.vehicle_steps_per_sec() << ","
+        << row.ns_per_vehicle_step() << "\n";
+    rows.push_back(std::move(row));
+  };
+  for (const Grid& g : grids) {
+    const double duration_s = 7200.0 * g.horizon_scale * duration_scale();
+    for (int shards : shard_counts) {
+      emit(run_one(scenario::SimulatorKind::Queue, "queue", g.n, shards, duration_s, seed));
+    }
+    for (int shards : shard_counts) {
+      emit(run_one(scenario::SimulatorKind::Micro, "micro", g.n, shards, duration_s, seed));
+    }
+  }
+  write_json(json_path, rows);
+  return 0;
+}

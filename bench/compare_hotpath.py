@@ -49,7 +49,11 @@ def load_rows(path):
                 f"re-run bench_hotpath_throughput to regenerate the report"
             )
         key = (row["grid"], row["sim"], int(row.get("threads", 1)))
-        rows[key] = (float(row["vehicle_steps_per_sec"]), float(row.get("wall_seconds", 0.0)))
+        rows[key] = (
+            float(row["vehicle_steps_per_sec"]),
+            float(row.get("wall_seconds", 0.0)),
+            float(row.get("sim_seconds", 0.0)),
+        )
     return doc, rows
 
 
@@ -90,27 +94,35 @@ def main():
     print(fmt.format("grid", "sim", "threads", "baseline", "current", "ratio", ""))
     for key in sorted(base):
         grid, sim, threads = key
-        base_rate, base_wall = base[key]
+        base_rate, base_wall, base_sim_s = base[key]
         if key not in cur:
             print(fmt.format(grid, sim, threads, f"{base_rate:.3g}", "-", "-", "missing (skipped)"))
             continue
-        cur_rate, cur_wall = cur[key]
+        cur_rate, cur_wall, cur_sim_s = cur[key]
         if min(base_wall, cur_wall) < args.min_wall:
             print(fmt.format(grid, sim, threads, f"{base_rate:.3g}", f"{cur_rate:.3g}", "-",
                              f"too short to gate (<{args.min_wall}s wall)"))
             continue
         ratio = cur_rate / base_rate if base_rate > 0 else float("inf")
         note = ""
+        # Throughput is horizon-independent once the grid is loaded (the
+        # big-grid rows run shortened horizons by design), but a silent
+        # horizon change between captures deserves a visible flag alongside
+        # the verdict.
+        if min(base_sim_s, cur_sim_s) > 0 and (
+            max(base_sim_s, cur_sim_s) > 2.0 * min(base_sim_s, cur_sim_s)
+        ):
+            note = f"[horizon {base_sim_s:.0f}s vs {cur_sim_s:.0f}s] "
         if ratio < 1.0 - args.threshold:
-            note = "REGRESSION"
+            note += "REGRESSION"
             regressions.append(key)
         elif ratio > 1.0 + args.threshold:
-            note = "improved (consider re-capturing the baseline)"
+            note += "improved (consider re-capturing the baseline)"
             improvements.append(key)
         print(fmt.format(grid, sim, threads, f"{base_rate:.3g}", f"{cur_rate:.3g}", f"{ratio:.2f}", note))
     for key in sorted(set(cur) - set(base)):
         grid, sim, threads = key
-        cur_rate, cur_wall = cur[key]
+        cur_rate, cur_wall, _ = cur[key]
         # Same skip rules as matched rows: a new row that is also too short to
         # measure says so, so nobody mistakes it for a gateable number.
         note = "new row (not gated)"

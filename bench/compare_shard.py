@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Speedup gate for the shard-scaling bench.
+
+Reads a BENCH_shard.json produced by bench_shard_scaling and checks that the
+4-shard rows on the large grids (>= --min-grid, default 32) reach at least
+--speedup (default 1.5x) the matching 1-shard row's vehicle_steps_per_sec.
+
+The gate only has teeth on a multi-core machine: sharding buys nothing on a
+single vCPU (the workers time-slice one core and pay the boundary-exchange
+cost on top), so when the report's recorded hardware_concurrency is below
+--min-cores (default 4) the script prints the speedup table and exits 0 with
+a "recorded, not gated" note. That keeps single-vCPU dev boxes honest — the
+rows are captured and visible — while CI's multi-core runners enforce the
+scaling claim. Rows measured over less than --min-wall seconds of wall time
+are never gated (scheduler noise swamps the signal on smoke runs).
+
+A report whose rows lack the required keys is a malformed input, not a perf
+verdict: exit 2, like bench/compare_hotpath.py.
+
+Usage: compare_shard.py BENCH_shard.json [--speedup 1.5] [--min-grid 32]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+REQUIRED_KEYS = ("grid", "sim", "shards", "vehicle_steps_per_sec")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report")
+    parser.add_argument(
+        "--speedup",
+        type=float,
+        default=float(os.environ.get("ABP_SHARD_GATE_SPEEDUP", "1.5")),
+        help="minimum required 4-shard / 1-shard throughput ratio",
+    )
+    parser.add_argument(
+        "--min-grid",
+        type=int,
+        default=32,
+        help="gate only square grids with at least this many rows",
+    )
+    parser.add_argument(
+        "--min-cores",
+        type=int,
+        default=4,
+        help="record-only (never fail) when the report's machine has fewer cores",
+    )
+    parser.add_argument(
+        "--min-wall",
+        type=float,
+        default=float(os.environ.get("ABP_PERF_GATE_MIN_WALL", "0.05")),
+        help="skip rows measured over less wall time (seconds) than this",
+    )
+    args = parser.parse_args()
+
+    with open(args.report) as f:
+        doc = json.load(f)
+    rows = {}
+    for i, row in enumerate(doc.get("rows", [])):
+        missing = [k for k in REQUIRED_KEYS if k not in row]
+        if missing:
+            print(
+                f"ERROR: malformed bench report: {args.report}: rows[{i}] is "
+                f"missing {', '.join(missing)}; re-run bench_shard_scaling",
+                file=sys.stderr,
+            )
+            return 2
+        key = (row["grid"], row["sim"], int(row["shards"]))
+        rows[key] = (
+            float(row["vehicle_steps_per_sec"]),
+            float(row.get("wall_seconds", 0.0)),
+        )
+
+    cores = int(doc.get("hardware_concurrency", 0))
+    gating = cores >= args.min_cores
+    print(
+        f"shard gate: compiler={doc.get('compiler', '?')!r} cores={cores} "
+        f"required speedup={args.speedup:.2f}x at 4 shards on >= "
+        f"{args.min_grid}x{args.min_grid} grids"
+        + ("" if gating else f" — RECORDED ONLY (needs >= {args.min_cores} cores to gate)")
+    )
+
+    failures = []
+    fmt = "{:>7} {:>6} {:>14} {:>14} {:>8}  {}"
+    print(fmt.format("grid", "sim", "1-shard", "4-shard", "speedup", ""))
+    for (grid, sim, shards) in sorted(rows):
+        if shards != 4:
+            continue
+        base_key = (grid, sim, 1)
+        rate4, wall4 = rows[(grid, sim, 4)]
+        if base_key not in rows:
+            print(fmt.format(grid, sim, "-", f"{rate4:.3g}", "-", "no 1-shard row (skipped)"))
+            continue
+        rate1, wall1 = rows[base_key]
+        speedup = rate4 / rate1 if rate1 > 0 else float("inf")
+        n = int(grid.split("x")[0])
+        note = ""
+        if n < args.min_grid:
+            note = "small grid (not gated)"
+        elif min(wall1, wall4) < args.min_wall:
+            note = f"too short to gate (<{args.min_wall}s wall)"
+        elif not gating:
+            note = "recorded, not gated"
+        elif speedup < args.speedup:
+            note = "FAIL"
+            failures.append((grid, sim))
+        print(fmt.format(grid, sim, f"{rate1:.3g}", f"{rate4:.3g}", f"{speedup:.2f}x", note))
+
+    if failures:
+        print(
+            f"FAIL: {len(failures)} grid(s) below {args.speedup:.2f}x at 4 shards: "
+            + ", ".join(f"{g}/{s}" for g, s in failures)
+        )
+        return 1
+    print("OK" if gating else "OK (recorded only)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,9 +74,30 @@ void MicroSim::build_runtime() {
     }
   }
 
+  // Per-(intersection, phase) green-link index, CSR over one flat array:
+  // phase_links_[phase_link_offsets_[slot] .. phase_link_offsets_[slot + 1])
+  // with slot = phase_slot_base_[node] + displayed phase. Built once here —
+  // phase composition is finalized-time topology — so the junction phase
+  // reads the displayed phase's movements directly instead of a green set
+  // rebuilt every control step. Order inside a slot is the phase's own link
+  // order, so iterating nodes in index order reproduces the historical
+  // (intersection, phase-link) grant order exactly.
+  phase_slot_base_.clear();
+  phase_slot_base_.reserve(net_.intersections().size());
+  phase_link_offsets_.assign(1, 0);
+  phase_links_.clear();
+  for (const net::Intersection& node : net_.intersections()) {
+    phase_slot_base_.push_back(static_cast<std::uint32_t>(phase_link_offsets_.size() - 1));
+    for (const net::Phase& phase : node.phases) {
+      for (LinkId lid : phase.links) phase_links_.push_back(lid);
+      phase_link_offsets_.push_back(static_cast<std::uint32_t>(phase_links_.size()));
+    }
+  }
+
   road_queued_approach_.assign(net_.roads().size(), 0);
   road_queued_congestion_.assign(net_.roads().size(), 0);
   link_queued_approach_.assign(net_.links().size(), 0);
+  memo_dirty_.assign(net_.roads().size(), 0);
   sweep_scratch_.resize(static_cast<std::size_t>(config_.threads));
   std::size_t max_lanes = 1;
   for (const RoadRt& rt : roads_) max_lanes = std::max(max_lanes, rt.lanes.size());
@@ -231,19 +252,17 @@ const core::IntersectionObservation& MicroSim::observe(const net::Intersection& 
 }
 
 void MicroSim::control_step() {
-  green_links_.clear();
   for (const net::Intersection& node : net_.intersections()) {
+    // Sharded: decide only owned junctions. Skipping a junction cannot desync
+    // the sensor stream — sharded construction requires a perfect sensor
+    // model, under which measure_queue never draws from rng_.
+    if (masked_junction(node.id.index())) continue;
     const net::PhaseIndex phase = controllers_[node.id.index()]->decide(observe(node));
     if (phase < 0 || phase >= static_cast<int>(node.phases.size())) {
       throw std::logic_error("controller returned an out-of-range phase");
     }
     displayed_[node.id.index()] = phase;
     result_.phase_traces[node.id.index()].record(now_, phase);
-    for (LinkId lid : node.links) links_[lid.index()].green = false;
-    for (LinkId lid : node.phases[static_cast<std::size_t>(phase)].links) {
-      links_[lid.index()].green = true;
-      green_links_.push_back(lid);
-    }
   }
 }
 
@@ -264,8 +283,15 @@ VehicleId MicroSim::alloc_vehicle() {
 }
 
 void MicroSim::admit_spawns() {
+  // Sharded: every worker polls the full demand stream (identical draws keep
+  // spawn_seq a global ordinal and the generated count exact in each worker)
+  // but only materializes vehicles bound for its own entry roads.
   demand_.poll_into(now_, now_ + config_.dt_s, spawn_buffer_);
   for (const traffic::SpawnRequest& req : spawn_buffer_) {
+    if (masked_road(req.entry.index())) {
+      result_.metrics.generated += 1;
+      continue;
+    }
     const VehicleId vid = alloc_vehicle();
     VehMeta& m = veh_meta_[vid.index()];
     m.route = req.route;
@@ -275,7 +301,10 @@ void MicroSim::admit_spawns() {
     result_.metrics.generated += 1;
     roads_[req.entry.index()].buffer.push_back(vid);
   }
+  std::uint32_t entry_index = 0;
   for (RoadId entry : net_.entry_roads()) {
+    const std::uint32_t entry_order = entry_index++;
+    if (masked_road(entry.index())) continue;
     RoadRt& rt = roads_[entry.index()];
     const int capacity = road_capacity_[entry.index()];
     // Per-lane FIFO admission: dedicated turning lanes run the full road
@@ -313,11 +342,22 @@ void MicroSim::admit_spawns() {
     }
     result_.metrics.entry_blocked_time_s +=
         static_cast<double>(rt.buffer.size()) * config_.dt_s;
+    // Journal nonzero blocked counts for the coordinator's metric replay;
+    // the zero adds above are the bitwise identity and need no record.
+    if (shard_ != nullptr && !rt.buffer.empty()) {
+      shard_->blocked.push_back({entry_order, static_cast<std::uint32_t>(rt.buffer.size())});
+    }
   }
 }
 
 void MicroSim::release_junction_vehicles() {
-  for (std::size_t i = 0; i < in_junction_.size();) {
+  // Order-preserving compaction: vehicles are released in box-entry (FIFO)
+  // order, so when two boxed vehicles contend for the same target lane's
+  // insertion gap, the earlier grant wins. The order is a pure function of
+  // the grant sequence — reproducible per junction, independent of how
+  // vehicles were removed in earlier ticks.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < in_junction_.size(); ++i) {
     const VehicleId vid = in_junction_[i];
     VehMeta& m = veh_meta_[vid.index()];
     RoadRt& target = roads_[m.road.index()];
@@ -326,17 +366,18 @@ void MicroSim::release_junction_vehicles() {
       target.lanes[static_cast<std::size_t>(m.lane)].push_vehicle(
           vid, 0.0, std::min(config_.insertion_speed_mps, net_.road(m.road).speed_limit_mps),
           veh_waiting_[vid.index()]);
-      in_junction_[i] = in_junction_.back();
-      in_junction_.pop_back();
     } else {
-      ++i;
+      in_junction_[kept++] = vid;
     }
   }
+  in_junction_.resize(kept);
 }
 
 bool MicroSim::try_grant(VehicleId vid, LinkId link) {
+  // Only ever called for links of the currently displayed phase (the green
+  // set by construction), so no green check is needed — just the headway.
   LinkRt& lrt = links_[link.index()];
-  if (!lrt.green || now_ < lrt.next_grant) return false;
+  if (now_ < lrt.next_grant) return false;
   VehMeta& m = veh_meta_[vid.index()];
   const net::Link& l = net_.link(link);
   const RoadId to_road = l.to_road;
@@ -377,41 +418,71 @@ void MicroSim::service_junctions() {
   // provided it has reached the service zone at the stop line. Service moves
   // the vehicle into the junction box immediately; everything behind it keeps
   // following normally in the sweep. Only the currently green links are
-  // visited (green_links_, rebuilt each control step): red movements can
-  // never grant, and scanning every lane for them cost more than the sweep
-  // saved. On a mixed lane the head vehicle's own route decides the movement
+  // visited — each node's displayed phase selects its slot of the precomputed
+  // green-link index, so red movements are never scanned and control steps no
+  // longer rebuild any green set. On a mixed lane the head vehicle's own route
+  // decides the movement
   // — the grant happens on the link matching the head's resolved next_link,
   // and if that movement is red the whole lane waits behind it (head-of-line
   // blocking). Grants read and write state of the *downstream* road
   // (occupancy reservation, insertion-gap check), which another road's work
   // unit owns — that cross-road coupling is exactly why this phase runs
   // sequentially, before the parallel sweep.
-  for (const LinkId lid : green_links_) {
-    const LinkRt& lrt = links_[lid.index()];
-    if (now_ < lrt.next_grant) continue;
-    RoadRt& rt = roads_[lrt.from_road.index()];
-    Lane& lane = rt.lanes[static_cast<std::size_t>(lrt.lane_index)];
-    if (lane.vehicles.empty()) continue;
-    const VehicleId vid = lane.vehicles.front();
-    // Mixed lane: this link only serves the head if it is the head's own
-    // movement (dedicated lanes satisfy this by construction), and the stop
-    // line serves at most one vehicle per tick even when several green links
-    // share the lane.
-    if (!lane.link &&
-        (veh_next_link_[vid.index()] != lid || lane.serviced_at == now_)) {
-      continue;
+  for (const net::Intersection& node : net_.intersections()) {
+    const std::size_t ni = node.id.index();
+    if (masked_junction(ni)) continue;
+    const std::uint32_t slot =
+        phase_slot_base_[ni] + static_cast<std::uint32_t>(displayed_[ni]);
+    const std::uint32_t slot_end = phase_link_offsets_[slot + 1];
+    for (std::uint32_t k = phase_link_offsets_[slot]; k < slot_end; ++k) {
+      const LinkId lid = phase_links_[k];
+      const LinkRt& lrt = links_[lid.index()];
+      if (now_ < lrt.next_grant) continue;
+      RoadRt& rt = roads_[lrt.from_road.index()];
+      Lane& lane = rt.lanes[static_cast<std::size_t>(lrt.lane_index)];
+      if (lane.vehicles.empty()) continue;
+      const VehicleId vid = lane.vehicles.front();
+      // Mixed lane: this link only serves the head if it is the head's own
+      // movement (dedicated lanes satisfy this by construction), and the stop
+      // line serves at most one vehicle per tick even when several green links
+      // share the lane.
+      if (!lane.link &&
+          (veh_next_link_[vid.index()] != lid || lane.serviced_at == now_)) {
+        continue;
+      }
+      const net::Road& road = net_.road(lrt.from_road);
+      if (lane.pos.front() < road.length_m - config_.service_zone_m) continue;
+      if (!try_grant(vid, lid)) continue;
+      lane.serviced_at = now_;
+      veh_waiting_[vid.index()] = lane.waiting.front();
+      VehMeta& m = veh_meta_[vid.index()];
+      m.junction_exit = now_ + config_.junction_crossing_s;
+      rt.occupancy -= 1;
+      lane.pop_head();
+      if (shard_ != nullptr && !shard_->own_road[m.road.index()]) {
+        // Granted onto a remote boundary road: hand the vehicle to the owner
+        // instead of this worker's junction box. try_grant already committed
+        // the grant's effects on the mirror (occupancy reservation, headway);
+        // the owner re-materializes the vehicle at ingest, so the slot here
+        // is done.
+        shard::MicroTransfer t;
+        t.road = static_cast<std::uint32_t>(m.road.index());
+        t.lane = m.lane;
+        t.spawn_seq = m.spawn_seq;
+        t.next_turn = m.next_turn;
+        t.junction_exit = m.junction_exit;
+        t.entry_time = m.entry_time;
+        t.waiting = veh_waiting_[vid.index()];
+        t.turns = m.route.turns;
+        shard_->micro_outbox.push_back(std::move(t));
+        m.loc = Loc::Done;
+        in_network_count_ -= 1;
+        free_slots_.push_back(vid.value());
+      } else {
+        m.loc = Loc::Junction;
+        in_junction_.push_back(vid);
+      }
     }
-    const net::Road& road = net_.road(lrt.from_road);
-    if (lane.pos.front() < road.length_m - config_.service_zone_m) continue;
-    if (!try_grant(vid, lid)) continue;
-    lane.serviced_at = now_;
-    veh_waiting_[vid.index()] = lane.waiting.front();
-    VehMeta& m = veh_meta_[vid.index()];
-    m.loc = Loc::Junction;
-    m.junction_exit = now_ + config_.junction_crossing_s;
-    rt.occupancy -= 1;
-    in_junction_.push_back(vid);
-    lane.pop_head();
   }
 }
 
@@ -513,7 +584,15 @@ void MicroSim::sweep_roads() {
   // cache here, so observe() never needs a separate scan. The predicate is
   // bit-identical to next step's control check (same addition, same compare).
   memo_pending_ = now_ + config_.dt_s >= next_control_;
-  if (memo_pending_) {
+  if (memo_pending_ && config_.memo_always_rebuild) {
+    // Reference path: global zero of every memo row before the rebuild. The
+    // default path below instead zeroes rows per road, lazily — a row is
+    // cleared only when its road is occupied this tick (about to be
+    // re-accumulated) or still dirty from an earlier rebuild. Empty roads
+    // whose rows are already clean — the common case on big grids — are
+    // skipped entirely (the elision). The lazy zeroing after a global fill
+    // re-zeroes zeros, so both paths land on identical tables; the unit test
+    // pins that bit-for-bit.
     std::fill(road_queued_approach_.begin(), road_queued_approach_.end(), 0);
     std::fill(road_queued_congestion_.begin(), road_queued_congestion_.end(), 0);
     std::fill(link_queued_approach_.begin(), link_queued_approach_.end(), 0);
@@ -521,13 +600,28 @@ void MicroSim::sweep_roads() {
   const std::vector<net::Road>& roads = net_.roads();
   // The chunk id keys the per-work-unit kernel scratch: one scratch per
   // participant, never shared, reused across that chunk's lanes and ticks.
+  // Memo rows and dirty bits are touched only by the owning road's work
+  // unit (a link's row belongs to its from_road), so this stays race-free.
   pool_->parallel_for_indexed(
       roads.size(), [&](std::size_t begin, std::size_t end, std::size_t chunk) {
         LaneKernelScratch& scratch = sweep_scratch_[chunk];
         for (std::size_t r = begin; r < end; ++r) {
+          // Sharded: remote roads are mirrors — nonzero occupancy but no
+          // simulated lanes here. Mask before the occupancy fast path.
+          if (masked_road(r)) continue;
           RoadRt& rt = roads_[r];
-          if (rt.occupancy == 0) continue;  // occupancy >= vehicles on lanes
+          if (rt.occupancy == 0) {  // occupancy >= vehicles on lanes
+            if (memo_pending_ && memo_dirty_[r]) {
+              zero_memo_rows(r);
+              memo_dirty_[r] = 0;
+            }
+            continue;
+          }
           const net::Road& road = roads[r];
+          if (memo_pending_) {
+            zero_memo_rows(r);
+            memo_dirty_[r] = 1;
+          }
           StreamRng& stream = road_streams_[r];
           for (Lane& lane : rt.lanes) {
             // Empty dedicated lanes are common (traffic concentrates on a
@@ -539,10 +633,27 @@ void MicroSim::sweep_roads() {
   apply_completions();
 }
 
+void MicroSim::zero_memo_rows(std::size_t road_index) {
+  road_queued_approach_[road_index] = 0;
+  road_queued_congestion_[road_index] = 0;
+  for (LinkId lid : net_.links_from(net_.roads()[road_index].id)) {
+    link_queued_approach_[lid.index()] = 0;
+  }
+}
+
 void MicroSim::apply_completions() {
+  std::uint32_t exit_index = 0;
   for (RoadId exit : net_.exit_roads()) {
+    const std::uint32_t exit_order = exit_index++;
     RoadRt& rt = roads_[exit.index()];
     if (!rt.completed.valid()) continue;
+    if (shard_ != nullptr) {
+      // Journal the completion for the coordinator's metric replay, with the
+      // exact doubles the local accumulation below adds.
+      const VehMeta& m = veh_meta_[rt.completed.index()];
+      shard_->completions.push_back(
+          {exit_order, veh_waiting_[rt.completed.index()], now_ - m.entry_time});
+    }
     complete_vehicle(rt.completed);
     rt.completed = VehicleId{};
   }
@@ -571,7 +682,7 @@ void MicroSim::sample_watches() {
   result_.in_network_series.push(now_, static_cast<double>(vehicles_in_network()));
 }
 
-void MicroSim::step() {
+void MicroSim::step_begin() {
   if (now_ >= next_control_) {
     control_step();
     next_control_ += config_.control_interval_s;
@@ -582,9 +693,93 @@ void MicroSim::step() {
   }
   admit_spawns();
   release_junction_vehicles();
-  service_junctions();
+  // Everything in the box from here on is this tick's own grants; next
+  // tick's lower-band transfers insert at this point (see ingest_transfer).
+  junction_mark_ = in_junction_.size();
+}
+
+void MicroSim::step_service() { service_junctions(); }
+
+void MicroSim::step_finish() {
   sweep_roads();
   now_ += config_.dt_s;
+}
+
+void MicroSim::step() {
+  step_begin();
+  step_service();
+  step_finish();
+}
+
+void MicroSim::ingest_transfer(const shard::MicroTransfer& t, bool from_lower_band) {
+  const VehicleId vid = alloc_vehicle();
+  VehMeta& m = veh_meta_[vid.index()];
+  m.route.turns = t.turns;
+  m.route.entry = RoadId{};  // only admission reads the entry; already past it
+  m.spawn_seq = t.spawn_seq;
+  m.next_turn = static_cast<std::size_t>(t.next_turn);
+  m.loc = Loc::Junction;
+  m.road = RoadId(t.road);
+  m.lane = t.lane;
+  m.junction_exit = t.junction_exit;
+  m.entry_time = t.entry_time;
+  veh_waiting_[vid.index()] = t.waiting;
+  // The grantor's try_grant resolved the *next* movement before extraction
+  // was decided; redo that resolution here (same inputs, same result).
+  if (!net_.road(m.road).is_exit()) {
+    if (const std::optional<LinkId> movement = movement_of(m, m.road)) {
+      veh_next_link_[vid.index()] = *movement;
+    }
+  }
+  roads_[m.road.index()].occupancy += 1;
+  in_network_count_ += 1;
+  // Box-entry order must replay the monolithic grant order: [survivors of
+  // last tick's release | lower band's grants | own grants | upper band's
+  // grants] — node index grows with grid row, so the lower-numbered band's
+  // junctions granted first in the monolithic service pass. junction_mark_
+  // is the survivors/own-grants split recorded by step_begin.
+  if (from_lower_band) {
+    in_junction_.insert(
+        in_junction_.begin() + static_cast<std::ptrdiff_t>(junction_mark_), vid);
+    junction_mark_ += 1;
+  } else {
+    in_junction_.push_back(vid);
+  }
+}
+
+void MicroSim::set_remote_occupancy(RoadId road, int occupancy) {
+  roads_[road.index()].occupancy = occupancy;
+}
+
+void MicroSim::set_remote_congestion(RoadId road, int congestion) {
+  road_queued_congestion_[road.index()] = congestion;
+}
+
+void MicroSim::set_remote_lane_rears(RoadId road,
+                                     const std::vector<shard::LaneRear>& rears) {
+  RoadRt& rt = roads_[road.index()];
+  for (std::size_t i = 0; i < rt.lanes.size(); ++i) {
+    Lane& lane = rt.lanes[i];
+    while (!lane.vehicles.empty()) lane.pop_head();
+    if (i < rears.size() && rears[i].occupied) {
+      // Phantom rear: an invalid VehicleId at the true rear position, enough
+      // for entry_clear (which reads only pos.back()). Remote lanes are never
+      // swept, serviced or flushed, so nothing dereferences the id.
+      lane.push_vehicle(VehicleId{}, rears[i].pos, 0.0, 0.0);
+    }
+  }
+}
+
+void MicroSim::collect_lane_rears(RoadId road, std::vector<shard::LaneRear>& out) const {
+  const RoadRt& rt = roads_[road.index()];
+  for (const Lane& lane : rt.lanes) {
+    shard::LaneRear rear;
+    if (!lane.vehicles.empty()) {
+      rear.occupied = true;
+      rear.pos = lane.pos.back();
+    }
+    out.push_back(rear);
+  }
 }
 
 stats::RunResult& MicroSim::run_until(double until_s) {
@@ -597,9 +792,11 @@ stats::RunResult MicroSim::finish(double duration_s) {
   run_until(duration_s);
   finished_ = true;
   // Flush the lane-carried waiting times of vehicles still on a lane back to
-  // the per-vehicle array before closing their records.
-  for (RoadRt& rt : roads_) {
-    for (Lane& lane : rt.lanes) {
+  // the per-vehicle array before closing their records. Sharded: remote
+  // mirror lanes hold phantom rears with invalid ids — skip them.
+  for (std::size_t r = 0; r < roads_.size(); ++r) {
+    if (masked_road(r)) continue;
+    for (Lane& lane : roads_[r].lanes) {
       for (std::size_t i = 0; i < lane.vehicles.size(); ++i) {
         veh_waiting_[lane.vehicles[i].index()] = lane.waiting[i];
       }
@@ -619,6 +816,9 @@ stats::RunResult MicroSim::finish(double duration_s) {
     result_.metrics.in_network_at_end += 1;
     result_.metrics.queuing_time_s.add(veh_waiting_[vid.index()]);
     result_.metrics.travel_time_s.add(now_ - m.entry_time);
+    if (shard_ != nullptr) {
+      shard_->opens.push_back({m.spawn_seq, veh_waiting_[vid.index()], now_ - m.entry_time});
+    }
     m.loc = Loc::Done;
   }
   for (stats::PhaseTrace& trace : result_.phase_traces) trace.finish(now_);

@@ -60,6 +60,7 @@
 #include "src/microsim/lane_kernel.hpp"
 #include "src/microsim/params.hpp"
 #include "src/net/network.hpp"
+#include "src/shard/sim_hooks.hpp"
 #include "src/stats/run_result.hpp"
 #include "src/traffic/demand.hpp"
 #include "src/util/rng.hpp"
@@ -114,6 +115,35 @@ class MicroSim {
   [[nodiscard]] std::vector<double> lane_positions(LinkId link) const;
   // True when no two vehicles on any lane overlap (collision check).
   [[nodiscard]] bool no_overlaps() const;
+
+  // --- Sharding surface (src/shard; docs/SHARDING.md) ---
+  // Installs the ownership masks and per-tick event staging. Must be called
+  // before the first step; null (the default) is the monolithic path. While
+  // hooks are installed the junction phase, admission, sweep and finish are
+  // masked to owned roads/junctions, grants onto remote roads extract the
+  // vehicle into hooks->micro_outbox, and step() decomposes into the three
+  // phases below so the worker can exchange boundary state between them.
+  void set_shard_hooks(shard::SimShardHooks* hooks) { shard_ = hooks; }
+  // Phase split of one tick: begin = control/sample/admission/box releases,
+  // service = stop-line grants, finish = lane sweep + completions + time
+  // advance. step() is exactly begin; service; finish.
+  void step_begin();
+  void step_service();
+  void step_finish();
+  // Materializes a vehicle the neighbor granted onto an owned boundary road.
+  // `from_lower_band` selects the in_junction_ insertion point that
+  // reproduces the monolithic grant order (lower band = lower node indices,
+  // so its grants precede this worker's own; the upper band's follow).
+  void ingest_transfer(const shard::MicroTransfer& t, bool from_lower_band);
+  // Mirror-state injection for remote boundary roads (grantor side).
+  void set_remote_occupancy(RoadId road, int occupancy);
+  void set_remote_congestion(RoadId road, int congestion);
+  void set_remote_lane_rears(RoadId road, const std::vector<shard::LaneRear>& rears);
+  // Mirror-state export for owned boundary roads (owner side).
+  void collect_lane_rears(RoadId road, std::vector<shard::LaneRear>& out) const;
+  [[nodiscard]] int congestion_memo(RoadId road) const {
+    return road_queued_congestion_[road.index()];
+  }
 
  private:
   enum class Loc { Outside, Lane, Junction, Done };
@@ -190,7 +220,6 @@ class MicroSim {
     int lane_index = 0;
     // Earliest time the next service grant may be issued (rate mu).
     double next_grant = 0.0;
-    bool green = false;
   };
 
   struct Watch {
@@ -219,6 +248,8 @@ class MicroSim {
                   LaneKernelScratch& scratch);
   // Applies the completions staged by sweep_roads(), in exit-road order.
   void apply_completions();
+  // Zeroes one road's memo rows (road counters + its movements' link rows).
+  void zero_memo_rows(std::size_t road_index);
   // Grants a crossing to `vid` (head of a green lane) if rate, capacity and
   // downstream insertion allow; returns true when granted.
   bool try_grant(VehicleId vid, LinkId link);
@@ -241,6 +272,13 @@ class MicroSim {
   [[nodiscard]] std::optional<LinkId> movement_of(const VehMeta& m, RoadId road) const;
   // True when a vehicle can be released at the start of the lane.
   [[nodiscard]] bool entry_clear(const RoadRt& rt, int lane_index) const;
+  // Shard masks: true when hooks are installed and the entity is remote.
+  [[nodiscard]] bool masked_road(std::size_t r) const {
+    return shard_ != nullptr && !shard_->own_road[r];
+  }
+  [[nodiscard]] bool masked_junction(std::size_t j) const {
+    return shard_ != nullptr && !shard_->own_junction[j];
+  }
 
   const net::Network& net_;
   MicroSimConfig config_;
@@ -283,12 +321,16 @@ class MicroSim {
 
   std::vector<RoadRt> roads_;
   std::vector<LinkRt> links_;
-  // Links granted right-of-way by the currently displayed phases, rebuilt by
-  // control_step() in (intersection, phase-link) order. The junction phase
-  // iterates exactly this set instead of scanning every lane of every road —
-  // most movements are red at any instant, and the green set only changes at
-  // control boundaries.
-  std::vector<LinkId> green_links_;
+  // Precomputed green-link index (CSR): for intersection n displaying phase
+  // p, the movements with right-of-way are
+  //   phase_links_[phase_link_offsets_[s] .. phase_link_offsets_[s + 1])
+  // with s = phase_slot_base_[n] + p. Built once in build_runtime() from the
+  // finalized phase plans; the transition phase's slot is empty, so the
+  // junction phase needs no special case and control_step() maintains no
+  // green set at all.
+  std::vector<LinkId> phase_links_;
+  std::vector<std::uint32_t> phase_link_offsets_;
+  std::vector<std::uint32_t> phase_slot_base_;
   std::vector<net::PhaseIndex> displayed_;
   // Vehicles currently inside a junction box, unordered.
   std::vector<VehicleId> in_junction_;
@@ -301,6 +343,12 @@ class MicroSim {
   std::vector<int> road_queued_approach_;
   std::vector<int> road_queued_congestion_;
   std::vector<int> link_queued_approach_;
+  // Per-road memo dirty bit: set when a rebuild wrote nonzero-capable rows
+  // for an occupied road, cleared once an empty road's rows are re-zeroed.
+  // Lets the rebuild skip empty-and-clean roads instead of re-zeroing every
+  // row globally (see sweep_roads); flat char vector so the sweep's owning
+  // work unit writes its own byte without atomics.
+  std::vector<char> memo_dirty_;
   bool memo_pending_ = false;
   // Per-entry-road admission scratch, sized to the widest road once.
   std::vector<char> lane_blocked_;
@@ -312,6 +360,12 @@ class MicroSim {
   std::vector<Watch> watches_;
   stats::RunResult result_;
   bool finished_ = false;
+  // Sharding masks + event staging; null in a monolithic run (every shard
+  // branch is `shard_ != nullptr && ...`, dead in the common case).
+  shard::SimShardHooks* shard_ = nullptr;
+  // in_junction_ size right after this tick's release pass: the insertion
+  // point for next tick's lower-band transfers (see ingest_transfer).
+  std::size_t junction_mark_ = 0;
 };
 
 }  // namespace abp::microsim

@@ -1,0 +1,74 @@
+#include "src/net/partition.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace abp::net {
+
+std::vector<RoadId> ShardPlan::boundary_owned_by(int shard, int grantor) const {
+  std::vector<RoadId> out;
+  for (const BoundaryRoad& b : boundary) {
+    if (b.owner == shard && b.grantor == grantor) out.push_back(b.road);
+  }
+  return out;
+}
+
+ShardPlan partition_rows(const Network& net, int count) {
+  if (count < 1) throw std::invalid_argument("shard count must be >= 1");
+  int rows = 0;
+  for (const Intersection& node : net.intersections()) {
+    if (node.grid_row < 0) {
+      throw std::invalid_argument(
+          "sharding requires a grid-built network (junction '" + node.name +
+          "' has no grid row)");
+    }
+    rows = std::max(rows, node.grid_row + 1);
+  }
+  if (rows == 0) throw std::invalid_argument("cannot shard an empty network");
+  if (count > rows) {
+    throw std::invalid_argument("shard count " + std::to_string(count) +
+                                " exceeds grid rows " + std::to_string(rows));
+  }
+
+  // Balanced contiguous bands: row r belongs to shard r*count/rows, which
+  // hands the first rows%count bands one extra row each.
+  const auto shard_of_row = [&](int row) { return row * count / rows; };
+
+  ShardPlan plan;
+  plan.count = count;
+  plan.junction_shard.resize(net.intersections().size());
+  for (const Intersection& node : net.intersections()) {
+    plan.junction_shard[node.id.index()] = shard_of_row(node.grid_row);
+  }
+  plan.road_shard.resize(net.roads().size());
+  for (const Road& road : net.roads()) {
+    // The to-junction's shard simulates the road (it serves vehicles off it
+    // and observes its queues); exit roads fall back to the from-junction.
+    const IntersectionId anchor = road.to.valid() ? road.to : road.from;
+    plan.road_shard[road.id.index()] = plan.junction_shard[anchor.index()];
+    if (road.from.valid() && road.to.valid()) {
+      const int grantor = plan.junction_shard[road.from.index()];
+      const int owner = plan.junction_shard[road.to.index()];
+      if (grantor != owner) {
+        if (std::abs(grantor - owner) != 1) {
+          throw std::invalid_argument(
+              "road '" + road.name + "' connects non-adjacent shards " +
+              std::to_string(grantor) + " and " + std::to_string(owner));
+        }
+        plan.boundary.push_back({road.id, owner, grantor});
+      }
+    }
+  }
+  // add_road assigns ids in insertion order, so the loop above already built
+  // this ascending; sort anyway to make the canonical order a contract rather
+  // than an accident of construction order.
+  std::sort(plan.boundary.begin(), plan.boundary.end(),
+            [](const BoundaryRoad& a, const BoundaryRoad& b) {
+              return a.road.index() < b.road.index();
+            });
+  return plan;
+}
+
+}  // namespace abp::net

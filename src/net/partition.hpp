@@ -1,0 +1,68 @@
+// Row-band sharding plan over a grid network (docs/SHARDING.md).
+//
+// The grid's junction rows are split into `count` contiguous bands, one per
+// shard. Every road is owned by exactly one shard — the shard of its
+// *to*-junction (the junction that serves vehicles off the road), with exit
+// roads falling to their from-junction's shard. Under that rule entry and
+// exit roads never cross shards, and the only cross-shard roads are the
+// vertical segments between adjacent bands: each has an *owner* (the shard
+// that simulates it: sweeps its lanes, samples it, completes its vehicles)
+// and a *grantor* (the shard whose junction serves vehicles onto it). The
+// per-tick boundary exchange in src/shard/ moves exactly two kinds of state
+// across each band seam: mirrored lane/occupancy state of these boundary
+// roads (owner -> grantor, so admission checks see the real road) and
+// vehicle transfers (grantor -> owner, vehicles granted onto the road).
+#pragma once
+
+#include <vector>
+
+#include "src/net/network.hpp"
+#include "src/util/ids.hpp"
+
+namespace abp::net {
+
+// One road whose from- and to-junctions live in different (always adjacent)
+// bands. `owner` simulates the road; `grantor` serves vehicles onto it.
+struct BoundaryRoad {
+  RoadId road;
+  int owner = 0;
+  int grantor = 0;
+};
+
+struct ShardPlan {
+  int count = 1;
+  // Shard index per intersection (by id index) and per road (by id index).
+  std::vector<int> junction_shard;
+  std::vector<int> road_shard;
+  // All cross-band roads, ascending by road index (the canonical order every
+  // boundary message uses).
+  std::vector<BoundaryRoad> boundary;
+
+  [[nodiscard]] int shard_of_road(RoadId r) const {
+    return road_shard[r.index()];
+  }
+  [[nodiscard]] int shard_of_junction(IntersectionId j) const {
+    return junction_shard[j.index()];
+  }
+  [[nodiscard]] bool owns_road(int shard, RoadId r) const {
+    return road_shard[r.index()] == shard;
+  }
+  [[nodiscard]] bool owns_junction(int shard, IntersectionId j) const {
+    return junction_shard[j.index()] == shard;
+  }
+  // Boundary roads owned by `shard` whose grantor is `grantor`, ascending by
+  // road index. The mirror-state messages owner->grantor and the transfer
+  // messages grantor->owner both iterate this list, so the two sides agree on
+  // framing without exchanging road ids.
+  [[nodiscard]] std::vector<RoadId> boundary_owned_by(int shard, int grantor) const;
+};
+
+// Splits the grid's rows into `count` contiguous bands (balanced sizes, top
+// band first) and classifies every junction and road as above. Throws
+// std::invalid_argument if the network is not grid-built, count < 1, count
+// exceeds the number of junction rows, or any cross-shard road connects
+// non-adjacent bands (impossible for a grid; checked anyway because the
+// pipelined exchange protocol relies on it).
+[[nodiscard]] ShardPlan partition_rows(const Network& net, int count);
+
+}  // namespace abp::net

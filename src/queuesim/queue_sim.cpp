@@ -114,6 +114,9 @@ const core::IntersectionObservation& QueueSim::observe(const net::Intersection& 
 
 void QueueSim::control_step() {
   for (const net::Intersection& node : net_.intersections()) {
+    // Sharded: decide only owned junctions (their observations read at most
+    // mirror state of remote downstream roads, injected before this phase).
+    if (masked_junction(node.id.index())) continue;
     const net::PhaseIndex phase = controllers_[node.id.index()]->decide(observe(node));
     if (phase < 0 || phase >= static_cast<int>(node.phases.size())) {
       throw std::logic_error("controller returned an out-of-range phase");
@@ -161,8 +164,15 @@ VehicleId QueueSim::alloc_vehicle() {
 }
 
 void QueueSim::admit_spawns(double from, double to) {
+  // Sharded: every worker polls the full demand stream (identical draws keep
+  // spawn_seq a global ordinal and the generated count exact in each worker)
+  // but only materializes vehicles bound for its own entry roads.
   demand_.poll_into(from, to, spawn_buffer_);
   for (const traffic::SpawnRequest& req : spawn_buffer_) {
+    if (masked_road(req.entry.index())) {
+      result_.metrics.generated += 1;
+      continue;
+    }
     const VehicleId vid = alloc_vehicle();
     VehicleRecord& rec = vehicles_[vid.index()];
     rec.route = req.route;
@@ -172,7 +182,10 @@ void QueueSim::admit_spawns(double from, double to) {
     entry_buffer_[req.entry.index()].push_back(vid);
   }
   // Admit buffered vehicles while their entry road has space.
+  std::uint32_t entry_index = 0;
   for (RoadId entry : net_.entry_roads()) {
+    const std::uint32_t entry_order = entry_index++;
+    if (masked_road(entry.index())) continue;
     auto& buffer = entry_buffer_[entry.index()];
     RoadState& road = roads_[entry.index()];
     const int capacity = road_capacity_[entry.index()];
@@ -190,12 +203,17 @@ void QueueSim::admit_spawns(double from, double to) {
     if (!buffer.empty()) {
       result_.metrics.entry_blocked_time_s +=
           static_cast<double>(buffer.size()) * config_.step_s;
+      if (shard_ != nullptr) {
+        shard_->blocked.push_back(
+            {entry_order, static_cast<std::uint32_t>(buffer.size())});
+      }
     }
   }
 }
 
 void QueueSim::arbitrate_service() {
   for (const net::Intersection& node : net_.intersections()) {
+    if (masked_junction(node.id.index())) continue;
     const net::PhaseIndex phase = displayed_[node.id.index()];
     if (phase == net::kTransitionPhase) continue;
     for (LinkId lid : node.phases[static_cast<std::size_t>(phase)].links) {
@@ -213,7 +231,16 @@ void QueueSim::arbitrate_service() {
       if (served > 0) {
         serve_count_[lid.index()] = served;
         service_from_[link.from_road.index()] = 1;
-        inbound_order_[link.to_road.index()].push_back(lid);
+        if (shard_ != nullptr && !shard_->own_road[link.to_road.index()]) {
+          // Served into a remote boundary road: the serve-credit arithmetic
+          // above already committed the mirror's occupancy deltas; the popped
+          // vehicles become transfers (stage_remote_transfers) instead of
+          // local transit pushes. Keeping them out of inbound_order_ keeps
+          // the masked delivery pass from ever touching the mirror.
+          remote_serve_order_.push_back(lid);
+        } else {
+          inbound_order_[link.to_road.index()].push_back(lid);
+        }
       }
     }
   }
@@ -239,9 +266,65 @@ void QueueSim::sweep_pop_served(std::size_t begin, std::size_t end) {
   }
 }
 
+void QueueSim::stage_remote_transfers(double serve_time) {
+  if (shard_ == nullptr || remote_serve_order_.empty()) return;
+  // Serve order == the order arbitrate_service recorded the links, so the
+  // outbox (and therefore the owner's transit pushes after the
+  // canonical-order delivery) matches the monolithic serial push order.
+  for (LinkId lid : remote_serve_order_) {
+    const net::Link& link = net_.link(lid);
+    // Same arrival arithmetic as the local delivery pass: pre-advance tick
+    // time plus the destination road's free-flow time.
+    const double arrive = serve_time + net_.road(link.to_road).free_flow_time_s();
+    std::vector<VehicleId>& staged = staged_[lid.index()];
+    for (VehicleId vid : staged) {
+      VehicleRecord& v = vehicles_[vid.index()];
+      shard::QueueTransfer t;
+      t.road = static_cast<std::uint32_t>(link.to_road.index());
+      t.spawn_seq = v.spawn_seq;
+      t.next_turn = v.next_turn;  // pass 1 already bumped it past this node
+      t.arrive_time = arrive;
+      t.entry_time = v.entry_time;
+      t.queue_time = v.queue_time;
+      t.turns = std::move(v.route.turns);
+      shard_->queue_outbox.push_back(std::move(t));
+      // The vehicle now lives on the owning worker; retire the local record.
+      v.in_network = false;
+      in_network_count_ -= 1;
+      free_slots_.push_back(vid.value());
+    }
+    staged.clear();
+  }
+  remote_serve_order_.clear();
+}
+
+void QueueSim::ingest_transfer(const shard::QueueTransfer& t) {
+  const VehicleId vid = alloc_vehicle();
+  VehicleRecord& rec = vehicles_[vid.index()];
+  rec.route.turns = t.turns;
+  rec.route.entry = RoadId{};  // entry road is only read at admission
+  rec.spawn_seq = t.spawn_seq;
+  rec.next_turn = static_cast<std::size_t>(t.next_turn);
+  rec.entry_time = t.entry_time;
+  rec.queue_time = t.queue_time;
+  rec.in_network = true;
+  in_network_count_ += 1;
+  RoadState& state = roads_[t.road];
+  state.occupancy += 1;
+  state.transit.push_back({t.arrive_time, vid});
+}
+
+void QueueSim::set_remote_road_state(RoadId road, int occupancy, int queued) {
+  roads_[road.index()].occupancy = occupancy;
+  road_queued_[road.index()] = queued;
+}
+
 void QueueSim::sweep_deliver_and_transit(std::size_t begin, std::size_t end,
                                          double serve_time) {
   for (std::size_t r = begin; r < end; ++r) {
+    // Sharded: remote roads are mirrors (nonzero occupancy/queued counters,
+    // no local vehicles); their delivery happens on the owning worker.
+    if (masked_road(r)) continue;
     RoadState& state = roads_[r];
     std::vector<LinkId>& inbound = inbound_order_[r];
     // Idle road: nothing served into it, nothing in flight, nothing queued.
@@ -327,9 +410,19 @@ void QueueSim::drain_due_transits(std::size_t r, const net::Road& road) {
 }
 
 void QueueSim::apply_completions() {
+  std::uint32_t exit_index = 0;
   for (RoadId exit : net_.exit_roads()) {
+    const std::uint32_t exit_order = exit_index++;
     std::vector<VehicleId>& staged = completions_[exit.index()];
-    for (VehicleId vid : staged) complete_vehicle(vid);
+    for (VehicleId vid : staged) {
+      if (shard_ != nullptr) {
+        // Journal with the exact values complete_vehicle adds (now_ is
+        // already advanced here) so the coordinator's replay is bitwise.
+        const VehicleRecord& v = vehicles_[vid.index()];
+        shard_->completions.push_back({exit_order, v.queue_time, now_ - v.entry_time});
+      }
+      complete_vehicle(vid);
+    }
     staged.clear();
   }
 }
@@ -342,7 +435,7 @@ void QueueSim::sample_watches() {
   result_.in_network_series.push(now_, static_cast<double>(vehicles_in_network()));
 }
 
-void QueueSim::step() {
+void QueueSim::step_begin() {
   if (now_ >= next_control_) {
     control_step();
     next_control_ += config_.control_interval_s;
@@ -352,7 +445,33 @@ void QueueSim::step() {
     next_sample_ += config_.sample_interval_s;
   }
   admit_spawns(now_, now_ + config_.step_s);
-  if (config_.threads == 1) {
+}
+
+void QueueSim::step_service() { arbitrate_service(); }
+
+void QueueSim::step_finish() {
+  const double serve_time = now_;  // arrival stamps predate the advance
+  now_ += config_.step_s;
+  // Road-partitioned parallel service sweep. Two passes with a barrier
+  // between them: pass 1 touches only from-road state (movement queues,
+  // vehicles being served), pass 2 only to-road state (transit FIFO, its
+  // own queues' waiting times) — the barrier is what lets a road's work
+  // unit drain the staging its upstream roads wrote.
+  const std::size_t road_count = net_.roads().size();
+  pool_->parallel_for(road_count,
+                      [this](std::size_t b, std::size_t e) { sweep_pop_served(b, e); });
+  // Sharded: vehicles served into remote roads leave through the outbox
+  // here, between the passes — popped by pass 1, never seen by pass 2.
+  stage_remote_transfers(serve_time);
+  pool_->parallel_for(road_count, [this, serve_time](std::size_t b, std::size_t e) {
+    sweep_deliver_and_transit(b, e, serve_time);
+  });
+  apply_completions();
+}
+
+void QueueSim::step() {
+  step_begin();
+  if (config_.threads == 1 && shard_ == nullptr) {
     // Serial path: the fused sweep — arbitration serves inline (no staging,
     // no bookkeeping, no barrier), then due transits in road order and one
     // flat queue-time pass. Bit-identical to the staged path below;
@@ -382,21 +501,8 @@ void QueueSim::step() {
     apply_completions();
     return;
   }
-  arbitrate_service();
-  const double serve_time = now_;  // arrival stamps predate the advance
-  now_ += config_.step_s;
-  // Road-partitioned parallel service sweep. Two passes with a barrier
-  // between them: pass 1 touches only from-road state (movement queues,
-  // vehicles being served), pass 2 only to-road state (transit FIFO, its
-  // own queues' waiting times) — the barrier is what lets a road's work
-  // unit drain the staging its upstream roads wrote.
-  const std::size_t road_count = net_.roads().size();
-  pool_->parallel_for(road_count,
-                      [this](std::size_t b, std::size_t e) { sweep_pop_served(b, e); });
-  pool_->parallel_for(road_count, [this, serve_time](std::size_t b, std::size_t e) {
-    sweep_deliver_and_transit(b, e, serve_time);
-  });
-  apply_completions();
+  step_service();
+  step_finish();
 }
 
 stats::RunResult& QueueSim::run_until(double until_s) {
@@ -424,6 +530,7 @@ stats::RunResult QueueSim::finish(double duration_s) {
     result_.metrics.in_network_at_end += 1;
     result_.metrics.queuing_time_s.add(v.queue_time);
     result_.metrics.travel_time_s.add(now_ - v.entry_time);
+    if (shard_ != nullptr) shard_->opens.push_back({seq, v.queue_time, now_ - v.entry_time});
     v.in_network = false;
   }
   for (stats::PhaseTrace& trace : result_.phase_traces) trace.finish(now_);

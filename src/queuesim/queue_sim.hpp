@@ -44,6 +44,7 @@
 
 #include "src/core/controller.hpp"
 #include "src/net/network.hpp"
+#include "src/shard/sim_hooks.hpp"
 #include "src/stats/run_result.hpp"
 #include "src/traffic/demand.hpp"
 #include "src/util/thread_pool.hpp"
@@ -110,6 +111,32 @@ class QueueSim {
   // Vehicles queued at the stop line of `road`, over all its movements
   // (q_i of Eq. 1; O(1), maintained incrementally). Also a test hook.
   [[nodiscard]] int queued_on_road(RoadId road) const;
+
+  // --- Sharding surface (src/shard; docs/SHARDING.md) ---
+  // Installs the ownership masks and per-tick event staging. Must be called
+  // before the first step; null (the default) is the monolithic path. While
+  // hooks are installed, control/arbitration run at owned junctions only,
+  // admission and the delivery pass are masked to owned roads, serves into
+  // remote roads extract the vehicle into hooks->queue_outbox, and the tick
+  // always takes the staged (non-fused) path so arbitration and delivery are
+  // separable phases.
+  void set_shard_hooks(shard::SimShardHooks* hooks) { shard_ = hooks; }
+  // Phase split of one tick: begin = control/sample/admission, service =
+  // service arbitration (the cross-road coupling), finish = time advance +
+  // the two road-partitioned passes + completions. step() is begin; service;
+  // finish — except at threads == 1 without hooks, where service+finish fuse.
+  void step_begin();
+  void step_service();
+  void step_finish();
+  // Materializes a vehicle the neighbor served onto an owned boundary road:
+  // joins the road's transit FIFO with the grantor-stamped arrival time. A
+  // boundary road's transit receives pushes from exactly one grantor, so
+  // append order is FIFO order, as in the monolithic run.
+  void ingest_transfer(const shard::QueueTransfer& t);
+  // Mirror-state injection for remote boundary roads (grantor side):
+  // occupancy feeds the serve-credit downstream check, queued feeds the
+  // controllers' downstream_queue observations.
+  void set_remote_road_state(RoadId road, int occupancy, int queued);
 
  private:
   struct VehicleRecord {
@@ -181,6 +208,17 @@ class QueueSim {
   void sample_watches();
   void route_vehicle_into_queue(VehicleId vid, RoadId road);
   void complete_vehicle(VehicleId vid);
+  // Drains the staging of links that served into remote roads this tick into
+  // hooks->queue_outbox, in the recorded serve order — the queue-sim analog
+  // of MicroSim's transfer extraction. Runs sequentially between the passes.
+  void stage_remote_transfers(double serve_time);
+  // Shard masks: true when hooks are installed and the entity is remote.
+  [[nodiscard]] bool masked_road(std::size_t r) const {
+    return shard_ != nullptr && !shard_->own_road[r];
+  }
+  [[nodiscard]] bool masked_junction(std::size_t j) const {
+    return shard_ != nullptr && !shard_->own_junction[j];
+  }
   // Fills and returns the reusable observation buffer (valid until the next
   // observe() call); avoids re-allocating the link array per decision.
   [[nodiscard]] const core::IntersectionObservation& observe(const net::Intersection& node);
@@ -244,6 +282,11 @@ class QueueSim {
   core::IntersectionObservation obs_scratch_;
   stats::RunResult result_;
   bool finished_ = false;
+  // Sharding masks + event staging; null in a monolithic run.
+  shard::SimShardHooks* shard_ = nullptr;
+  // Links that served into *remote* roads this tick, in serve order — the
+  // sharded counterpart of inbound_order_, drained by stage_remote_transfers.
+  std::vector<LinkId> remote_serve_order_;
 };
 
 }  // namespace abp::queuesim

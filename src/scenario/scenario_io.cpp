@@ -25,7 +25,7 @@ constexpr const char* kTopKeys[] = {
     "version", "name",  "description", "simulator",  "duration_s",
     "seed",    "grid",  "demand",      "controller", "controller_overrides",
     "micro",   "queue", "watches",     "faults",     "guard",
-    "detector"};
+    "detector", "shard"};
 constexpr const char* kGridKeys[] = {
     "rows",           "cols",     "road_length_m", "boundary_length_m",
     "speed_limit_mps", "capacity", "service_rate",  "handedness"};
@@ -75,6 +75,9 @@ constexpr const char* kGuardKeys[] = {"enabled", "policy", "interval_s"};
 constexpr const char* kDetectorKeys[] = {
     "enabled",   "window_samples", "warmup_samples", "drift",      "threshold",
     "min_sigma", "min_links",      "fuse_window_s",  "cooldown_s", "adapt"};
+// crash_worker/crash_at_s are deliberately absent: the crash hook is a test
+// knob, not part of the declarative schema.
+constexpr const char* kShardKeys[] = {"count", "allow_oversubscribe"};
 
 void check_keys(const json::Value& obj, std::span<const char* const> allowed,
                 const std::string& path) {
@@ -742,6 +745,19 @@ void load_detector(const json::Value& v, detect::DetectorConfig& det,
   if (!(det.cooldown_s >= 0.0)) fail(path + ".cooldown_s", "must be >= 0");
 }
 
+void load_shard(const json::Value& v, ShardConfig& shard, const std::string& path) {
+  expect_object(v, path);
+  check_keys(v, kShardKeys, path);
+  if (const auto* f = v.find("count")) shard.count = read_int(*f, path + ".count");
+  if (const auto* f = v.find("allow_oversubscribe")) {
+    shard.allow_oversubscribe = read_bool(*f, path + ".allow_oversubscribe");
+  }
+  if (shard.count < 1) fail(path + ".count", "must be >= 1");
+  // The partitioner further requires count <= grid rows, but that depends on
+  // the grid section; sim::make_simulator owns cross-section validation.
+  if (shard.count > 256) fail(path + ".count", "must be <= 256");
+}
+
 // --- Section dumpers --------------------------------------------------------
 
 json::Value dump_node(const GridNodeRef& node) {
@@ -861,6 +877,7 @@ ScenarioConfig load_scenario(std::string_view json_text) {
   if (const auto* f = doc.find("faults")) load_faults(*f, cfg.faults, "faults");
   if (const auto* f = doc.find("guard")) load_guard(*f, cfg.guard, "guard");
   if (const auto* f = doc.find("detector")) load_detector(*f, cfg.detector, "detector");
+  if (const auto* f = doc.find("shard")) load_shard(*f, cfg.shard, "shard");
   return cfg;
 }
 
@@ -1047,6 +1064,12 @@ std::string dump_scenario(const ScenarioConfig& config) {
   detector.set("adapt", json::Value::boolean(config.detector.adapt));
   doc.set("detector", std::move(detector));
 
+  json::Value shard = json::Value::object();
+  shard.set("count", json::Value::number(config.shard.count));
+  shard.set("allow_oversubscribe",
+            json::Value::boolean(config.shard.allow_oversubscribe));
+  doc.set("shard", std::move(shard));
+
   return json::dump(doc);
 }
 
@@ -1085,6 +1108,7 @@ std::vector<std::string> schema_field_paths() {
   add("faults.controllers[].node", kNodeKeys);
   add("guard", kGuardKeys);
   add("detector", kDetectorKeys);
+  add("shard", kShardKeys);
   return out;
 }
 

@@ -43,8 +43,9 @@ namespace abp::scenario {
 // "version" field). Bumped only for schema changes; the loader also accepts
 // kScenarioSchemaVersionMin, since every older document is a valid newer one
 // (new sections are optional with behavior-preserving defaults). Version 2
-// added the optional "detector" section (online changepoint detection).
-inline constexpr int kScenarioSchemaVersion = 2;
+// added the optional "detector" section (online changepoint detection);
+// version 3 the optional "shard" section (multi-process sharding).
+inline constexpr int kScenarioSchemaVersion = 3;
 inline constexpr int kScenarioSchemaVersionMin = 1;
 
 // Load/validate failure with the dotted path of the offending field.

@@ -1,0 +1,294 @@
+#include "src/shard/channel.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sched.h>
+#include <stdexcept>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/prctl.h>
+#endif
+
+namespace abp::shard {
+namespace {
+
+// 1 MiB of payload per ring; larger frames (end-of-run reports) stream
+// through in chunks, so this bounds memory, not message size.
+constexpr std::size_t kRingCapacity = std::size_t{1} << 20;
+constexpr std::size_t kRingSlot = sizeof(RingHeader) + kRingCapacity;
+
+// Blocked-side backoff: stay cheap on contended single-core machines (the
+// dev boxes running the invariance tests) without adding measurable latency
+// on idle multi-core ones.
+void backoff(unsigned spin) {
+  if (spin < 64) {
+    sched_yield();
+    return;
+  }
+  timespec ts{0, 50'000};  // 50us
+  nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+// --- InProcRouter -----------------------------------------------------------
+
+InProcRouter::InProcRouter(int workers)
+    : mail_(static_cast<std::size_t>(workers),
+            std::vector<std::deque<Frame>>(static_cast<std::size_t>(workers))) {}
+
+void InProcRouter::post(int from, int to, Frame frame) {
+  mail_[static_cast<std::size_t>(to)][static_cast<std::size_t>(from)].push_back(
+      std::move(frame));
+}
+
+Frame InProcRouter::fetch(int to, int from) {
+  auto& box = mail_[static_cast<std::size_t>(to)][static_cast<std::size_t>(from)];
+  if (box.empty()) {
+    // The in-process drive order (A for all, B ascending, C for all)
+    // guarantees delivery before receipt; an empty box is a protocol bug.
+    throw std::logic_error("shard in-process transport: recv before send");
+  }
+  Frame f = std::move(box.front());
+  box.pop_front();
+  return f;
+}
+
+// --- ShmRing ----------------------------------------------------------------
+
+void ShmRing::write(const std::uint8_t* data, std::size_t n,
+                    const std::function<void()>& on_wait) {
+  std::size_t written = 0;
+  unsigned spin = 0;
+  while (written < n) {
+    const std::uint64_t head = header_->head.load(std::memory_order_acquire);
+    const std::uint64_t tail = header_->tail.load(std::memory_order_relaxed);
+    const std::size_t free = capacity_ - static_cast<std::size_t>(tail - head);
+    if (free == 0) {
+      if (on_wait) on_wait();
+      backoff(spin++);
+      continue;
+    }
+    spin = 0;
+    std::size_t chunk = std::min(free, n - written);
+    const std::size_t at = static_cast<std::size_t>(tail % capacity_);
+    const std::size_t run = std::min(chunk, capacity_ - at);
+    std::memcpy(buf_ + at, data + written, run);
+    if (run < chunk) std::memcpy(buf_, data + written + run, chunk - run);
+    written += chunk;
+    header_->tail.store(tail + chunk, std::memory_order_release);
+  }
+}
+
+void ShmRing::read(std::uint8_t* out, std::size_t n, const std::function<void()>& on_wait) {
+  std::size_t got = 0;
+  unsigned spin = 0;
+  while (got < n) {
+    const std::uint64_t tail = header_->tail.load(std::memory_order_acquire);
+    const std::uint64_t head = header_->head.load(std::memory_order_relaxed);
+    const std::size_t avail = static_cast<std::size_t>(tail - head);
+    if (avail == 0) {
+      if (on_wait) on_wait();
+      backoff(spin++);
+      continue;
+    }
+    spin = 0;
+    std::size_t chunk = std::min(avail, n - got);
+    const std::size_t at = static_cast<std::size_t>(head % capacity_);
+    const std::size_t run = std::min(chunk, capacity_ - at);
+    std::memcpy(out + got, buf_ + at, run);
+    if (run < chunk) std::memcpy(out + got + run, buf_, chunk - run);
+    got += chunk;
+    header_->head.store(head + chunk, std::memory_order_release);
+  }
+}
+
+void ShmRing::send_frame(const Frame& frame, const std::function<void()>& on_wait) {
+  const std::uint64_t len = frame.size();
+  write(reinterpret_cast<const std::uint8_t*>(&len), sizeof len, on_wait);
+  write(frame.data(), frame.size(), on_wait);
+}
+
+Frame ShmRing::recv_frame(const std::function<void()>& on_wait) {
+  std::uint64_t len = 0;
+  read(reinterpret_cast<std::uint8_t*>(&len), sizeof len, on_wait);
+  Frame frame(static_cast<std::size_t>(len));
+  read(frame.data(), frame.size(), on_wait);
+  return frame;
+}
+
+// --- RingArena --------------------------------------------------------------
+// Slot layout: [seam up 0..K-2][seam down 0..K-2][command 0..K-1][report
+// 0..K-1], where seam up i carries i -> i+1 and seam down i carries i+1 -> i.
+
+RingArena::RingArena(int workers) : workers_(workers) {
+  const std::size_t rings = 2 * static_cast<std::size_t>(workers - 1) +
+                            2 * static_cast<std::size_t>(workers);
+  size_ = rings * kRingSlot;
+  mem_ = mmap(nullptr, size_, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mem_ == MAP_FAILED) {
+    mem_ = nullptr;
+    throw std::runtime_error("shard transport: mmap failed");
+  }
+  // MAP_ANONYMOUS memory is zeroed, which is exactly the initial ring state
+  // (head == tail == 0); nothing further to construct.
+}
+
+RingArena::~RingArena() {
+  if (mem_ != nullptr) munmap(mem_, size_);
+}
+
+ShmRing RingArena::ring(std::size_t index) const {
+  return ShmRing(static_cast<std::uint8_t*>(mem_) + index * kRingSlot, kRingCapacity);
+}
+
+ShmRing RingArena::seam(int from, int to) const {
+  const std::size_t seams = static_cast<std::size_t>(workers_ - 1);
+  if (from < 0 || to < 0 || from >= workers_ || to >= workers_) {
+    throw std::logic_error("shard transport: seam endpoint out of range");
+  }
+  if (to == from + 1) return ring(static_cast<std::size_t>(from));
+  if (to == from - 1) return ring(seams + static_cast<std::size_t>(to));
+  throw std::logic_error("shard transport: seam rings connect adjacent shards only");
+}
+
+ShmRing RingArena::command(int worker) const {
+  const std::size_t seams = static_cast<std::size_t>(workers_ - 1);
+  return ring(2 * seams + static_cast<std::size_t>(worker));
+}
+
+ShmRing RingArena::report(int worker) const {
+  const std::size_t seams = static_cast<std::size_t>(workers_ - 1);
+  return ring(2 * seams + static_cast<std::size_t>(workers_) +
+              static_cast<std::size_t>(worker));
+}
+
+// --- ForkWorkerLinks --------------------------------------------------------
+
+ForkWorkerLinks::ForkWorkerLinks(const RingArena& arena, int self)
+    : self_(self), to_coord_(arena.report(self)), from_coord_(arena.command(self)) {
+  // Seam rings only exist toward actual neighbors; the default-constructed
+  // rings are never touched (WorkerCore skips missing neighbors).
+  if (self > 0) {
+    to_prev_ = arena.seam(self, self - 1);
+    from_prev_ = arena.seam(self - 1, self);
+  }
+  if (self + 1 < arena.workers()) {
+    to_next_ = arena.seam(self, self + 1);
+    from_next_ = arena.seam(self + 1, self);
+  }
+}
+
+ShmRing& ForkWorkerLinks::ring_to(int peer) {
+  if (peer == kCoordinator) return to_coord_;
+  return peer < self_ ? to_prev_ : to_next_;
+}
+
+ShmRing& ForkWorkerLinks::ring_from(int peer) {
+  if (peer == kCoordinator) return from_coord_;
+  return peer < self_ ? from_prev_ : from_next_;
+}
+
+void ForkWorkerLinks::send(int peer, Frame frame) { ring_to(peer).send_frame(frame, {}); }
+
+Frame ForkWorkerLinks::recv(int peer) { return ring_from(peer).recv_frame({}); }
+
+// --- ForkGroupTransport -----------------------------------------------------
+
+ForkGroupTransport::ForkGroupTransport(
+    int workers, const std::function<void(int, BoundaryLinks&)>& worker_main)
+    : arena_(workers) {
+  pids_.reserve(static_cast<std::size_t>(workers));
+  for (int s = 0; s < workers; ++s) {
+    command_.push_back(arena_.command(s));
+    report_.push_back(arena_.report(s));
+  }
+  for (int s = 0; s < workers; ++s) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      abort_group();
+      throw std::runtime_error("shard transport: fork failed");
+    }
+    if (pid == 0) {
+      // Worker process. Die with the coordinator, never return into the
+      // coordinator's stack, and convert any escape into a nonzero exit so
+      // the coordinator's liveness poll reports it.
+#if defined(__linux__)
+      prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+      try {
+        ForkWorkerLinks links(arena_, s);
+        worker_main(s, links);
+      } catch (...) {
+        _exit(2);
+      }
+      _exit(0);
+    }
+    pids_.push_back(pid);
+  }
+}
+
+ForkGroupTransport::~ForkGroupTransport() { abort_group(); }
+
+void ForkGroupTransport::send(int worker, const Frame& frame) {
+  command_[static_cast<std::size_t>(worker)].send_frame(frame,
+                                                        [this] { check_children(); });
+}
+
+Frame ForkGroupTransport::recv(int worker) {
+  return report_[static_cast<std::size_t>(worker)].recv_frame([this] { check_children(); });
+}
+
+void ForkGroupTransport::check_children() {
+  for (pid_t& pid : pids_) {
+    if (pid <= 0) continue;
+    int status = 0;
+    const pid_t r = waitpid(pid, &status, WNOHANG);
+    if (r == pid) {
+      if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+        // Clean exit: the worker answered Finish and left; its report is
+        // already in (or streaming through) its ring. Not an error — this
+        // happens while the coordinator is still collecting the other
+        // workers' reports.
+        pid = -1;
+        continue;
+      }
+      // A worker died while the coordinator still expected frames from the
+      // group: abort the remaining workers and fail the run.
+      pid = -1;
+      abort_group();
+      throw std::runtime_error("shard worker process died mid-run");
+    }
+  }
+}
+
+void ForkGroupTransport::join_all() {
+  bool failed = false;
+  for (pid_t& pid : pids_) {
+    if (pid <= 0) continue;
+    int status = 0;
+    while (waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    pid = -1;
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) failed = true;
+  }
+  if (failed) throw std::runtime_error("shard worker process failed");
+}
+
+void ForkGroupTransport::abort_group() noexcept {
+  for (pid_t& pid : pids_) {
+    if (pid <= 0) continue;
+    kill(pid, SIGKILL);
+    int status = 0;
+    while (waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    pid = -1;
+  }
+}
+
+}  // namespace abp::shard

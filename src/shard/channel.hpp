@@ -1,0 +1,166 @@
+// Transports of the sharding layer: the frame channels workers exchange
+// boundary messages over, in two interchangeable implementations.
+//
+// InProcRouter — plain per-edge deques, no threads, no processes. The
+// coordinator drives every worker's tick phases itself in an order that
+// guarantees each recv() finds its frame already delivered (phase A for all
+// workers, phase B in ascending shard order, phase C for all), so a recv on
+// an empty queue is a protocol bug and throws. This is the transport the
+// determinism tests pin: single-process, sanitizer-friendly, schedule-free.
+//
+// ForkGroup — one forked process per shard, exchanging the identical frames
+// over single-producer/single-consumer byte rings in one shared anonymous
+// mapping created before the forks. Frames are length-prefixed and streamed
+// through the ring in chunks, so a frame larger than the ring capacity
+// (end-of-run reports) still passes; blocking sides spin with sched_yield
+// and a short sleep, and the coordinator's blocking reads poll child
+// liveness so a crashed worker surfaces as std::runtime_error (-> the
+// experiment runner's RunStatus::Error) instead of a hang. Workers arm
+// PR_SET_PDEATHSIG so an abandoned coordinator reaps the whole group.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <sys/types.h>
+#include <vector>
+
+#include "src/shard/messages.hpp"
+
+namespace abp::shard {
+
+// A worker's frame endpoint: peers are shard indices, kCoordinator is the
+// coordinator. send() delivers a whole frame; recv() blocks (fork transport)
+// or asserts availability (in-process) until the peer's next frame arrives.
+inline constexpr int kCoordinator = -1;
+
+class BoundaryLinks {
+ public:
+  virtual ~BoundaryLinks() = default;
+  virtual void send(int peer, Frame frame) = 0;
+  [[nodiscard]] virtual Frame recv(int peer) = 0;
+};
+
+// --- In-process transport ---------------------------------------------------
+
+class InProcRouter {
+ public:
+  explicit InProcRouter(int workers);
+  void post(int from, int to, Frame frame);
+  [[nodiscard]] Frame fetch(int to, int from);
+
+ private:
+  // mail_[to][from]: frames from `from` awaiting `to`, FIFO.
+  std::vector<std::vector<std::deque<Frame>>> mail_;
+};
+
+class InProcLinks final : public BoundaryLinks {
+ public:
+  InProcLinks(InProcRouter& router, int self) : router_(router), self_(self) {}
+  void send(int peer, Frame frame) override { router_.post(self_, peer, std::move(frame)); }
+  [[nodiscard]] Frame recv(int peer) override { return router_.fetch(self_, peer); }
+
+ private:
+  InProcRouter& router_;
+  int self_;
+};
+
+// --- Fork transport ---------------------------------------------------------
+
+// SPSC byte ring in shared memory. head (read cursor) and tail (write
+// cursor) are free-running 64-bit counters; entries are raw bytes. The
+// header lives at the start of the ring's shared-memory slot, the buffer
+// right after it.
+struct RingHeader {
+  std::atomic<std::uint64_t> head;
+  std::atomic<std::uint64_t> tail;
+};
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "shared-memory rings require address-free 64-bit atomics");
+
+class ShmRing {
+ public:
+  ShmRing() = default;
+  ShmRing(void* slot, std::size_t capacity) noexcept
+      : header_(static_cast<RingHeader*>(slot)),
+        buf_(static_cast<std::uint8_t*>(slot) + sizeof(RingHeader)),
+        capacity_(capacity) {}
+
+  // Streams `n` bytes into / out of the ring, blocking in chunks as space or
+  // data becomes available; `on_wait` runs on every blocked iteration (the
+  // coordinator's child-liveness poll).
+  void write(const std::uint8_t* data, std::size_t n, const std::function<void()>& on_wait);
+  void read(std::uint8_t* out, std::size_t n, const std::function<void()>& on_wait);
+
+  void send_frame(const Frame& frame, const std::function<void()>& on_wait);
+  [[nodiscard]] Frame recv_frame(const std::function<void()>& on_wait);
+
+ private:
+  RingHeader* header_ = nullptr;
+  std::uint8_t* buf_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+// The whole group's ring set in one anonymous MAP_SHARED mapping: per band
+// seam one ring each way, per worker a command and a report ring. Created
+// (and its headers zeroed) by the coordinator before forking.
+class RingArena {
+ public:
+  explicit RingArena(int workers);
+  ~RingArena();
+  RingArena(const RingArena&) = delete;
+  RingArena& operator=(const RingArena&) = delete;
+
+  // Seam rings between adjacent shards; `from`/`to` must differ by 1.
+  [[nodiscard]] ShmRing seam(int from, int to) const;
+  [[nodiscard]] ShmRing command(int worker) const;  // coordinator -> worker
+  [[nodiscard]] ShmRing report(int worker) const;   // worker -> coordinator
+  [[nodiscard]] int workers() const noexcept { return workers_; }
+
+ private:
+  [[nodiscard]] ShmRing ring(std::size_t index) const;
+  int workers_ = 0;
+  void* mem_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+// A forked worker's endpoint over the arena's rings.
+class ForkWorkerLinks final : public BoundaryLinks {
+ public:
+  ForkWorkerLinks(const RingArena& arena, int self);
+  void send(int peer, Frame frame) override;
+  [[nodiscard]] Frame recv(int peer) override;
+
+ private:
+  [[nodiscard]] ShmRing& ring_to(int peer);
+  [[nodiscard]] ShmRing& ring_from(int peer);
+  int self_;
+  ShmRing to_prev_, from_prev_, to_next_, from_next_, to_coord_, from_coord_;
+};
+
+// Coordinator side of the fork transport: forks one worker per shard (the
+// child calls `worker_main(shard, links)` and must never return), then
+// exchanges command/report frames. Any blocking receive polls the children;
+// a dead child aborts the group (kill + reap) and throws.
+class ForkGroupTransport {
+ public:
+  ForkGroupTransport(int workers, const std::function<void(int, BoundaryLinks&)>& worker_main);
+  ~ForkGroupTransport();
+  ForkGroupTransport(const ForkGroupTransport&) = delete;
+  ForkGroupTransport& operator=(const ForkGroupTransport&) = delete;
+
+  void send(int worker, const Frame& frame);
+  [[nodiscard]] Frame recv(int worker);
+  // Reaps workers that exited cleanly after Finish; throws if any failed.
+  void join_all();
+
+ private:
+  void check_children();
+  void abort_group() noexcept;
+  RingArena arena_;
+  std::vector<pid_t> pids_;
+  std::vector<ShmRing> command_, report_;
+};
+
+}  // namespace abp::shard

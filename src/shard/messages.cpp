@@ -1,0 +1,141 @@
+#include "src/shard/messages.hpp"
+
+namespace abp::shard {
+
+Frame encode_report(const WorkerReport& rep) {
+  ByteWriter w;
+  write_header(w, FrameKind::Report, 0);
+  w.u64(rep.generated);
+  w.u64(rep.entered);
+  w.f64(rep.duration_s);
+  w.u64(rep.completions.size());
+  for (const ReportCompletion& c : rep.completions) {
+    w.u64(c.tick);
+    w.u32(c.exit_index);
+    w.f64(c.waiting);
+    w.f64(c.travel);
+  }
+  w.u64(rep.blocked.size());
+  for (const ReportBlocked& b : rep.blocked) {
+    w.u64(b.tick);
+    w.u32(b.entry_index);
+    w.u32(b.count);
+  }
+  w.u64(rep.opens.size());
+  for (const OpenRecord& o : rep.opens) {
+    w.u64(o.spawn_seq);
+    w.f64(o.waiting);
+    w.f64(o.travel);
+  }
+  w.u64(rep.in_network_series.size());
+  for (const SeriesPoint& p : rep.in_network_series) {
+    w.f64(p.time);
+    w.f64(p.value);
+  }
+  w.u64(rep.road_series.size());
+  for (const ReportSeries& s : rep.road_series) {
+    w.u32(s.global_index);
+    w.u64(s.points.size());
+    for (const SeriesPoint& p : s.points) {
+      w.f64(p.time);
+      w.f64(p.value);
+    }
+  }
+  w.u64(rep.phase_traces.size());
+  for (const ReportPhaseTrace& t : rep.phase_traces) {
+    w.u32(t.node_index);
+    w.f64(t.end_time);
+    w.u64(t.samples.size());
+    for (const stats::PhaseTrace::Sample& s : t.samples) {
+      w.f64(s.time);
+      w.i32(s.phase);
+    }
+  }
+  w.u64(rep.detections.size());
+  for (const ReportDetector& d : rep.detections) {
+    w.u32(d.node_index);
+    w.u64(d.samples);
+    w.u64(d.events.size());
+    for (const stats::DetectionEvent& e : d.events) {
+      w.f64(e.time_s);
+      w.i32(e.row);
+      w.i32(e.col);
+      w.i32(e.direction);
+      w.f64(e.statistic);
+      w.u32(static_cast<std::uint32_t>(e.links.size()));
+      for (int link : e.links) w.i32(link);
+    }
+  }
+  return w.take();
+}
+
+WorkerReport decode_report(const Frame& frame) {
+  ByteReader r(frame);
+  check_header(r, FrameKind::Report, 0);
+  WorkerReport rep;
+  rep.generated = r.u64();
+  rep.entered = r.u64();
+  rep.duration_s = r.f64();
+  rep.completions.resize(r.u64());
+  for (ReportCompletion& c : rep.completions) {
+    c.tick = r.u64();
+    c.exit_index = r.u32();
+    c.waiting = r.f64();
+    c.travel = r.f64();
+  }
+  rep.blocked.resize(r.u64());
+  for (ReportBlocked& b : rep.blocked) {
+    b.tick = r.u64();
+    b.entry_index = r.u32();
+    b.count = r.u32();
+  }
+  rep.opens.resize(r.u64());
+  for (OpenRecord& o : rep.opens) {
+    o.spawn_seq = r.u64();
+    o.waiting = r.f64();
+    o.travel = r.f64();
+  }
+  rep.in_network_series.resize(r.u64());
+  for (SeriesPoint& p : rep.in_network_series) {
+    p.time = r.f64();
+    p.value = r.f64();
+  }
+  rep.road_series.resize(r.u64());
+  for (ReportSeries& s : rep.road_series) {
+    s.global_index = r.u32();
+    s.points.resize(r.u64());
+    for (SeriesPoint& p : s.points) {
+      p.time = r.f64();
+      p.value = r.f64();
+    }
+  }
+  rep.phase_traces.resize(r.u64());
+  for (ReportPhaseTrace& t : rep.phase_traces) {
+    t.node_index = r.u32();
+    t.end_time = r.f64();
+    t.samples.resize(r.u64());
+    for (stats::PhaseTrace::Sample& s : t.samples) {
+      s.time = r.f64();
+      s.phase = r.i32();
+    }
+  }
+  rep.detections.resize(r.u64());
+  for (ReportDetector& d : rep.detections) {
+    d.node_index = r.u32();
+    d.samples = r.u64();
+    d.events.resize(r.u64());
+    for (stats::DetectionEvent& e : d.events) {
+      e.time_s = r.f64();
+      e.row = r.i32();
+      e.col = r.i32();
+      e.direction = r.i32();
+      e.statistic = r.f64();
+      e.links.resize(r.u32());
+      for (int& link : e.links) link = r.i32();
+    }
+  }
+  if (!r.done()) throw std::runtime_error("shard report: trailing bytes");
+  return rep;
+}
+
+}  // namespace abp::shard

@@ -1,0 +1,184 @@
+// Wire format of the sharding layer (docs/SHARDING.md).
+//
+// Every message between shard workers — and between the coordinator and a
+// forked worker — is one length-delimited frame of little-endian scalars,
+// written with ByteWriter and read back with ByteReader. Boundary frames
+// (Ex1 / Token / Ex2) are *positional*: both sides of a band seam iterate the
+// same ShardPlan::boundary_owned_by list, so frames carry no road ids, only
+// a (kind, tick) header that is checked on receipt to catch any protocol
+// drift. The same framing runs over the in-process deque router and the
+// shared-memory rings, so the fork transport exercises byte-for-byte the
+// protocol the in-process tests pin.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/shard/sim_hooks.hpp"
+#include "src/stats/run_result.hpp"
+
+namespace abp::shard {
+
+using Frame = std::vector<std::uint8_t>;
+
+// Little-endian scalar writer over a growing byte buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void i32(std::int32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  [[nodiscard]] Frame take() { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  Frame buf_;
+};
+
+// Matching reader; throws std::runtime_error on overrun so a truncated or
+// misframed message fails loudly instead of yielding garbage state.
+class ByteReader {
+ public:
+  explicit ByteReader(const Frame& f) : buf_(f) {}
+  std::uint8_t u8() { return take<std::uint8_t>(); }
+  std::uint32_t u32() { return take<std::uint32_t>(); }
+  std::int32_t i32() { return take<std::int32_t>(); }
+  std::uint64_t u64() { return take<std::uint64_t>(); }
+  double f64() { return take<double>(); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (pos_ + n > buf_.size()) throw std::runtime_error("shard frame truncated");
+    std::string s(reinterpret_cast<const char*>(buf_.data()) + pos_, n);
+    pos_ += n;
+    return s;
+  }
+  [[nodiscard]] bool done() const noexcept { return pos_ == buf_.size(); }
+
+ private:
+  template <typename T>
+  T take() {
+    if (pos_ + sizeof(T) > buf_.size()) throw std::runtime_error("shard frame truncated");
+    T v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  const Frame& buf_;
+  std::size_t pos_ = 0;
+};
+
+enum class FrameKind : std::uint8_t {
+  // Boundary exchange (worker <-> worker), one of each per seam per tick.
+  Ex1 = 1,    // post-admission lane rears, owner -> grantor (micro only)
+  Token = 2,  // post-service occupancy (+ micro rears), owner -> grantor
+  Ex2 = 3,    // end-of-tick mirrors + vehicle transfers, both directions
+  // Coordinator protocol (fork transport only).
+  Watches = 16,   // resolved watch list, coordinator -> worker, once
+  RunUntil = 17,  // advance to a horizon
+  SliceDone = 18, // RunUntil acknowledgment: now + progress counters
+  Finish = 19,    // close the run; answered with Report, then worker exits
+  Report = 20,    // serialized WorkerReport
+  Query = 21,     // introspection read (road occupancy, phase, ...)
+  QueryReply = 22,
+};
+
+// Every frame leads with [kind u8][tick u64]; non-tick frames carry 0.
+inline void write_header(ByteWriter& w, FrameKind kind, std::uint64_t tick) {
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(tick);
+}
+
+// Validates the header and returns the tick. A kind or tick mismatch means
+// the two sides of the protocol have desynchronized — unrecoverable.
+inline void check_header(ByteReader& r, FrameKind expect, std::uint64_t tick) {
+  const auto kind = static_cast<FrameKind>(r.u8());
+  if (kind != expect) throw std::runtime_error("shard protocol: unexpected frame kind");
+  const std::uint64_t got = r.u64();
+  if (got != tick) throw std::runtime_error("shard protocol: tick desynchronized");
+}
+
+enum class QueryWhat : std::uint8_t {
+  RoadOccupancy = 0,
+  QueuedOnRoad = 1,
+  DisplayedPhase = 2,
+  VehiclesInNetwork = 3,
+};
+
+// RunUntil acknowledgment: enough for a partial RunResult between slices
+// (full metrics are assembled from the WorkerReports at finish).
+struct SliceCounters {
+  double now_s = 0.0;
+  std::uint64_t generated = 0;
+  std::uint64_t entered = 0;
+  std::uint64_t completed = 0;
+};
+
+// --- End-of-run worker report -----------------------------------------------
+// Everything the coordinator needs to replay this worker's share of the run
+// into the merged RunResult in the monolithic accumulation order: journaled
+// per-tick events (tick-stamped), sampled series, phase traces and detector
+// state of owned junctions, and the closing counters.
+
+struct ReportCompletion {
+  std::uint64_t tick = 0;
+  std::uint32_t exit_index = 0;  // position in net exit-road order
+  double waiting = 0.0;
+  double travel = 0.0;
+};
+
+struct ReportBlocked {
+  std::uint64_t tick = 0;
+  std::uint32_t entry_index = 0;  // position in net entry-road order
+  std::uint32_t count = 0;
+};
+
+struct SeriesPoint {
+  double time = 0.0;
+  double value = 0.0;
+};
+
+struct ReportSeries {
+  std::uint32_t global_index = 0;  // watch registration index at the coordinator
+  std::vector<SeriesPoint> points;
+};
+
+struct ReportPhaseTrace {
+  std::uint32_t node_index = 0;
+  double end_time = 0.0;  // the trace's finish() time at the worker
+  std::vector<stats::PhaseTrace::Sample> samples;
+};
+
+struct ReportDetector {
+  std::uint32_t node_index = 0;
+  std::uint64_t samples = 0;
+  std::vector<stats::DetectionEvent> events;
+};
+
+struct WorkerReport {
+  std::uint64_t generated = 0;
+  std::uint64_t entered = 0;
+  double duration_s = 0.0;
+  std::vector<ReportCompletion> completions;  // (tick, exit_index) ascending
+  std::vector<ReportBlocked> blocked;         // (tick, entry_index) ascending
+  std::vector<OpenRecord> opens;              // spawn_seq ascending
+  std::vector<SeriesPoint> in_network_series;
+  std::vector<ReportSeries> road_series;
+  std::vector<ReportPhaseTrace> phase_traces;  // owned junctions only
+  std::vector<ReportDetector> detections;      // owned junctions, detector on
+};
+
+[[nodiscard]] Frame encode_report(const WorkerReport& rep);
+[[nodiscard]] WorkerReport decode_report(const Frame& frame);
+
+}  // namespace abp::shard

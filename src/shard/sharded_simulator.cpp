@@ -1,0 +1,503 @@
+#include "src/shard/sharded_simulator.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+#include "src/microsim/micro_sim.hpp"
+#include "src/net/partition.hpp"
+#include "src/queuesim/queue_sim.hpp"
+#include "src/shard/channel.hpp"
+#include "src/shard/messages.hpp"
+#include "src/shard/worker_core.hpp"
+#include "src/sim/run_setup.hpp"
+
+namespace abp::shard {
+namespace {
+
+struct PendingWatch {
+  RoadId road;
+  std::string name;
+};
+
+// Coordinator's view of the worker set, independent of transport.
+class WorkerGroup {
+ public:
+  virtual ~WorkerGroup() = default;
+  // Drives every worker to `until_s` and returns the merged slice counters.
+  virtual SliceCounters run_until(double until_s) = 0;
+  // Drives to `duration_s`, closes every worker's run, returns the reports
+  // in shard order.
+  virtual std::vector<WorkerReport> finish(double duration_s) = 0;
+  virtual int query(int shard, QueryWhat what, std::uint32_t index) = 0;
+};
+
+// Merge rule for slice counters: every worker runs the full demand process
+// (generated is global in each), but enters/completes only its own band.
+void merge_counters(SliceCounters& into, const SliceCounters& c, bool first) {
+  if (first) {
+    into.now_s = c.now_s;
+    into.generated = c.generated;
+  }
+  into.entered += c.entered;
+  into.completed += c.completed;
+}
+
+// --- In-process group -------------------------------------------------------
+// The coordinator owns every WorkerCore and runs the tick phases itself:
+// phase A for all workers, phase B in ascending shard order (the token
+// cascade), phase C for all. Under that order each recv's frame is already
+// delivered, so the deque transport never blocks.
+
+template <typename Backend>
+class InProcGroup final : public WorkerGroup {
+ public:
+  InProcGroup(const scenario::ScenarioConfig& config, const net::ShardPlan& plan,
+              const std::vector<PendingWatch>& watches)
+      : router_(plan.count) {
+    const int count = plan.count;
+    links_.reserve(static_cast<std::size_t>(count));
+    cores_.reserve(static_cast<std::size_t>(count));
+    for (int s = 0; s < count; ++s) {
+      links_.push_back(std::make_unique<InProcLinks>(router_, s));
+      cores_.push_back(std::make_unique<WorkerCore<Backend>>(config, plan, s, *links_[s]));
+      for (std::size_t i = 0; i < watches.size(); ++i) {
+        cores_.back()->register_watch(static_cast<std::uint32_t>(i), watches[i].road,
+                                      watches[i].name);
+      }
+    }
+  }
+
+  SliceCounters run_until(double until_s) override {
+    drive(until_s);
+    SliceCounters merged;
+    for (std::size_t s = 0; s < cores_.size(); ++s) {
+      merge_counters(merged, cores_[s]->counters(), s == 0);
+    }
+    return merged;
+  }
+
+  std::vector<WorkerReport> finish(double duration_s) override {
+    drive(duration_s);
+    std::vector<WorkerReport> reports;
+    reports.reserve(cores_.size());
+    for (auto& core : cores_) reports.push_back(core->finish(duration_s));
+    return reports;
+  }
+
+  int query(int shard, QueryWhat what, std::uint32_t index) override {
+    return cores_[static_cast<std::size_t>(shard)]->query(what, index);
+  }
+
+ private:
+  void drive(double until_s) {
+    while (cores_.front()->now() < until_s) {
+      for (auto& core : cores_) core->phase_a();
+      for (auto& core : cores_) core->phase_b();
+      for (auto& core : cores_) core->phase_c();
+    }
+  }
+
+  InProcRouter router_;
+  std::vector<std::unique_ptr<InProcLinks>> links_;
+  std::vector<std::unique_ptr<WorkerCore<Backend>>> cores_;
+};
+
+// --- Fork group -------------------------------------------------------------
+// One forked process per shard; this side speaks the command/report protocol
+// (Watches once, then RunUntil/Query/Finish) and the workers exchange the
+// boundary frames among themselves over the seam rings.
+
+template <typename Backend>
+void worker_loop(const scenario::ScenarioConfig& config, const net::ShardPlan& plan,
+                 int shard, BoundaryLinks& links) {
+  WorkerCore<Backend> core(config, plan, shard, links);
+  {
+    Frame f = links.recv(kCoordinator);
+    ByteReader r(f);
+    check_header(r, FrameKind::Watches, 0);
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t road = r.u32();
+      std::string name = r.str();
+      core.register_watch(i, RoadId{road}, std::move(name));
+    }
+  }
+  const bool crash_armed =
+      config.shard.crash_worker == shard && config.shard.crash_at_s >= 0.0;
+  const auto drive = [&](double until_s) {
+    while (core.now() < until_s) {
+      if (crash_armed && core.now() >= config.shard.crash_at_s) _exit(3);
+      core.tick();
+    }
+  };
+  for (;;) {
+    Frame f = links.recv(kCoordinator);
+    ByteReader r(f);
+    const auto kind = static_cast<FrameKind>(r.u8());
+    r.u64();  // header tick slot; always 0 on command frames
+    switch (kind) {
+      case FrameKind::RunUntil: {
+        drive(r.f64());
+        const SliceCounters c = core.counters();
+        ByteWriter w;
+        write_header(w, FrameKind::SliceDone, 0);
+        w.f64(c.now_s);
+        w.u64(c.generated);
+        w.u64(c.entered);
+        w.u64(c.completed);
+        links.send(kCoordinator, w.take());
+        break;
+      }
+      case FrameKind::Query: {
+        const auto what = static_cast<QueryWhat>(r.u8());
+        const std::uint32_t index = r.u32();
+        ByteWriter w;
+        write_header(w, FrameKind::QueryReply, 0);
+        w.i32(core.query(what, index));
+        links.send(kCoordinator, w.take());
+        break;
+      }
+      case FrameKind::Finish: {
+        const double duration_s = r.f64();
+        drive(duration_s);
+        links.send(kCoordinator, encode_report(core.finish(duration_s)));
+        return;  // the fork wrapper turns this into _exit(0)
+      }
+      default:
+        throw std::runtime_error("shard worker: unexpected command frame");
+    }
+  }
+}
+
+class ForkGroup final : public WorkerGroup {
+ public:
+  ForkGroup(const scenario::ScenarioConfig& config, const net::ShardPlan& plan,
+            const std::vector<PendingWatch>& watches)
+      : count_(plan.count),
+        transport_(plan.count, [&config, &plan](int shard, BoundaryLinks& links) {
+          if (config.simulator == scenario::SimulatorKind::Micro) {
+            worker_loop<microsim::MicroSim>(config, plan, shard, links);
+          } else {
+            worker_loop<queuesim::QueueSim>(config, plan, shard, links);
+          }
+        }) {
+    ByteWriter w;
+    write_header(w, FrameKind::Watches, 0);
+    w.u32(static_cast<std::uint32_t>(watches.size()));
+    for (const PendingWatch& pw : watches) {
+      w.u32(static_cast<std::uint32_t>(pw.road.index()));
+      w.str(pw.name);
+    }
+    const Frame frame = w.take();
+    for (int s = 0; s < count_; ++s) transport_.send(s, frame);
+  }
+
+  SliceCounters run_until(double until_s) override {
+    ByteWriter w;
+    write_header(w, FrameKind::RunUntil, 0);
+    w.f64(until_s);
+    const Frame frame = w.take();
+    for (int s = 0; s < count_; ++s) transport_.send(s, frame);
+    SliceCounters merged;
+    for (int s = 0; s < count_; ++s) {
+      Frame f = transport_.recv(s);
+      ByteReader r(f);
+      check_header(r, FrameKind::SliceDone, 0);
+      SliceCounters c;
+      c.now_s = r.f64();
+      c.generated = r.u64();
+      c.entered = r.u64();
+      c.completed = r.u64();
+      merge_counters(merged, c, s == 0);
+    }
+    return merged;
+  }
+
+  std::vector<WorkerReport> finish(double duration_s) override {
+    ByteWriter w;
+    write_header(w, FrameKind::Finish, 0);
+    w.f64(duration_s);
+    const Frame frame = w.take();
+    for (int s = 0; s < count_; ++s) transport_.send(s, frame);
+    std::vector<WorkerReport> reports;
+    reports.reserve(static_cast<std::size_t>(count_));
+    for (int s = 0; s < count_; ++s) reports.push_back(decode_report(transport_.recv(s)));
+    transport_.join_all();
+    return reports;
+  }
+
+  int query(int shard, QueryWhat what, std::uint32_t index) override {
+    ByteWriter w;
+    write_header(w, FrameKind::Query, 0);
+    w.u8(static_cast<std::uint8_t>(what));
+    w.u32(index);
+    transport_.send(shard, w.take());
+    Frame f = transport_.recv(shard);
+    ByteReader r(f);
+    check_header(r, FrameKind::QueryReply, 0);
+    return r.i32();
+  }
+
+ private:
+  int count_;
+  ForkGroupTransport transport_;
+};
+
+// --- ShardedSimulator -------------------------------------------------------
+
+class ShardedSimulator final : public sim::Simulator {
+ public:
+  explicit ShardedSimulator(const scenario::ScenarioConfig& config)
+      : config_(config),
+        network_(sim::build_validated(config.grid)),
+        plan_(net::partition_rows(network_, config.shard.count)) {
+    if (config_.guard.enabled) {
+      throw std::invalid_argument(
+          "shard.count > 1 does not support the runtime invariant guard");
+    }
+    if (config_.simulator == scenario::SimulatorKind::Micro &&
+        !config_.micro.sensor.perfect()) {
+      throw std::invalid_argument(
+          "shard.count > 1 requires a perfect sensor model on the microscopic "
+          "backend (imperfect sensors draw per-junction randomness that masked "
+          "junctions would skip)");
+    }
+    if (config_.simulator == scenario::SimulatorKind::Queue) {
+      for (const net::BoundaryRoad& b : plan_.boundary) {
+        if (network_.road(b.road).free_flow_time_s() <= config_.queue.step_s) {
+          throw std::invalid_argument(
+              "shard.count > 1 requires every boundary road's free-flow time to "
+              "exceed queue.step_s");
+        }
+      }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (!config_.shard.allow_oversubscribe && hw != 0 &&
+        static_cast<unsigned>(scenario::tick_threads(config_)) > hw) {
+      throw std::invalid_argument(
+          "shard.count x backend threads exceeds hardware concurrency; set "
+          "shard.allow_oversubscribe to run anyway");
+    }
+  }
+
+  void watch_road(RoadId road, std::string series_name) override {
+    if (group_ != nullptr) {
+      throw std::logic_error("sharded runs require all watches before the first step");
+    }
+    watches_.push_back({road, std::move(series_name)});
+  }
+
+  stats::RunResult& run_until(double until_s) override {
+    ensure_started();
+    const SliceCounters c = group_->run_until(until_s);
+    now_ = c.now_s;
+    result_.metrics.generated = static_cast<std::size_t>(c.generated);
+    result_.metrics.entered = static_cast<std::size_t>(c.entered);
+    result_.metrics.completed = static_cast<std::size_t>(c.completed);
+    return result_;
+  }
+
+  stats::RunResult finish(double duration_s) override {
+    if (finished_) throw std::logic_error("finish() called twice");
+    ensure_started();
+    std::vector<WorkerReport> reports = group_->finish(duration_s);
+    finished_ = true;
+    merge_reports(reports);
+    now_ = result_.duration_s;
+    return result_;
+  }
+
+  [[nodiscard]] double now() const noexcept override { return now_; }
+
+  [[nodiscard]] int vehicles_in_network() const override {
+    int total = 0;
+    for (int s = 0; s < plan_.count; ++s) {
+      total += mutable_group().query(s, QueryWhat::VehiclesInNetwork, 0);
+    }
+    return total;
+  }
+
+  [[nodiscard]] int road_occupancy(RoadId road) const override {
+    return mutable_group().query(plan_.shard_of_road(road), QueryWhat::RoadOccupancy,
+                                 static_cast<std::uint32_t>(road.index()));
+  }
+
+  [[nodiscard]] int queued_on_road(RoadId road) const override {
+    return mutable_group().query(plan_.shard_of_road(road), QueryWhat::QueuedOnRoad,
+                                 static_cast<std::uint32_t>(road.index()));
+  }
+
+  [[nodiscard]] net::PhaseIndex displayed_phase(IntersectionId node) const override {
+    return mutable_group().query(plan_.shard_of_junction(node), QueryWhat::DisplayedPhase,
+                                 static_cast<std::uint32_t>(node.index()));
+  }
+
+  [[nodiscard]] const net::Network& network() const noexcept override { return network_; }
+
+ private:
+  void ensure_started() {
+    if (group_ != nullptr) return;
+    if (config_.shard.in_process) {
+      if (config_.simulator == scenario::SimulatorKind::Micro) {
+        group_ = std::make_unique<InProcGroup<microsim::MicroSim>>(config_, plan_, watches_);
+      } else {
+        group_ = std::make_unique<InProcGroup<queuesim::QueueSim>>(config_, plan_, watches_);
+      }
+    } else {
+      group_ = std::make_unique<ForkGroup>(config_, plan_, watches_);
+    }
+  }
+
+  // The introspection overrides are const (interface contract) but must be
+  // able to lazily start the group and exchange query frames.
+  [[nodiscard]] WorkerGroup& mutable_group() const {
+    auto* self = const_cast<ShardedSimulator*>(this);
+    self->ensure_started();
+    return *self->group_;
+  }
+
+  // Replays the workers' journals into the merged RunResult in exactly the
+  // monolithic accumulation order, so every double accumulates in the same
+  // sequence and the result is bit-identical (see docs/SHARDING.md).
+  void merge_reports(std::vector<WorkerReport>& reports) {
+    stats::NetworkMetrics& m = result_.metrics;
+    m.generated = static_cast<std::size_t>(reports.front().generated);
+    m.entered = 0;
+    for (const WorkerReport& rep : reports) {
+      m.entered += static_cast<std::size_t>(rep.entered);
+    }
+    result_.duration_s = reports.front().duration_s;
+
+    // Completions: each worker's journal is (tick, exit_index)-sorted and no
+    // two workers share an exit road, so one sort restores the global order
+    // the monolithic apply_completions() accumulated in.
+    std::vector<ReportCompletion> completions;
+    for (WorkerReport& rep : reports) {
+      completions.insert(completions.end(), rep.completions.begin(), rep.completions.end());
+    }
+    std::sort(completions.begin(), completions.end(),
+              [](const ReportCompletion& a, const ReportCompletion& b) {
+                return a.tick != b.tick ? a.tick < b.tick : a.exit_index < b.exit_index;
+              });
+    m.completed = 0;
+    for (const ReportCompletion& c : completions) {
+      m.completed += 1;
+      m.queuing_time_s.add(c.waiting);
+      m.travel_time_s.add(c.travel);
+    }
+
+    // Open records close after every completion in the monolithic finish(),
+    // in global spawn order.
+    std::vector<OpenRecord> opens;
+    for (WorkerReport& rep : reports) {
+      opens.insert(opens.end(), rep.opens.begin(), rep.opens.end());
+    }
+    std::sort(opens.begin(), opens.end(),
+              [](const OpenRecord& a, const OpenRecord& b) { return a.spawn_seq < b.spawn_seq; });
+    m.in_network_at_end = opens.size();
+    for (const OpenRecord& o : opens) {
+      m.queuing_time_s.add(o.waiting);
+      m.travel_time_s.add(o.travel);
+    }
+
+    // Entry blocking: the monolithic admission pass adds blocked * dt per
+    // tick walking the entry roads in order; replay the journaled nonzero
+    // counts in that (tick, entry_index) order.
+    const double step_s = config_.simulator == scenario::SimulatorKind::Micro
+                              ? config_.micro.dt_s
+                              : config_.queue.step_s;
+    std::vector<ReportBlocked> blocked;
+    for (WorkerReport& rep : reports) {
+      blocked.insert(blocked.end(), rep.blocked.begin(), rep.blocked.end());
+    }
+    std::sort(blocked.begin(), blocked.end(),
+              [](const ReportBlocked& a, const ReportBlocked& b) {
+                return a.tick != b.tick ? a.tick < b.tick : a.entry_index < b.entry_index;
+              });
+    m.entry_blocked_time_s = 0.0;
+    for (const ReportBlocked& b : blocked) {
+      m.entry_blocked_time_s += static_cast<double>(b.count) * step_s;
+    }
+
+    // Vehicles-in-network series: workers sample the same schedule; the
+    // global count at each sample is the element-wise sum of the bands.
+    result_.in_network_series = stats::TimeSeries{"in_network"};
+    if (!reports.empty()) {
+      const std::vector<SeriesPoint>& base = reports.front().in_network_series;
+      for (std::size_t i = 0; i < base.size(); ++i) {
+        double total = 0.0;
+        for (const WorkerReport& rep : reports) {
+          total += rep.in_network_series[i].value;
+        }
+        result_.in_network_series.push(base[i].time, total);
+      }
+    }
+
+    // Road watches: each series lives wholly at its road's owner.
+    result_.road_series.clear();
+    result_.road_series.reserve(watches_.size());
+    for (const PendingWatch& pw : watches_) {
+      result_.road_series.emplace_back(pw.name);
+    }
+    for (const WorkerReport& rep : reports) {
+      for (const ReportSeries& s : rep.road_series) {
+        stats::TimeSeries& out = result_.road_series[s.global_index];
+        for (const SeriesPoint& p : s.points) out.push(p.time, p.value);
+      }
+    }
+
+    // Phase traces: replay each owned junction's compressed samples and
+    // close at the worker's end time.
+    result_.phase_traces.assign(network_.intersections().size(), stats::PhaseTrace{});
+    for (const WorkerReport& rep : reports) {
+      for (const ReportPhaseTrace& t : rep.phase_traces) {
+        stats::PhaseTrace& trace = result_.phase_traces[t.node_index];
+        for (const stats::PhaseTrace::Sample& s : t.samples) trace.record(s.time, s.phase);
+        trace.finish(t.end_time);
+      }
+    }
+
+    // Detections: reports arrive in shard order and each worker lists its
+    // junctions ascending, so concatenation is global junction order — the
+    // order BackendSimulator::export_detections merges in. A stable sort by
+    // time alone then yields its canonical (time, row, col) order.
+    result_.detections.samples = 0;
+    result_.detections.events.clear();
+    for (const WorkerReport& rep : reports) {
+      for (const ReportDetector& d : rep.detections) {
+        result_.detections.samples += static_cast<std::size_t>(d.samples);
+        result_.detections.events.insert(result_.detections.events.end(), d.events.begin(),
+                                         d.events.end());
+      }
+    }
+    std::stable_sort(result_.detections.events.begin(), result_.detections.events.end(),
+                     [](const stats::DetectionEvent& a, const stats::DetectionEvent& b) {
+                       return a.time_s < b.time_s;
+                     });
+  }
+
+  scenario::ScenarioConfig config_;
+  net::Network network_;
+  net::ShardPlan plan_;
+  std::vector<PendingWatch> watches_;
+  std::unique_ptr<WorkerGroup> group_;
+  stats::RunResult result_;
+  double now_ = 0.0;
+  bool finished_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::Simulator> make_sharded_simulator(
+    const scenario::ScenarioConfig& config) {
+  return std::make_unique<ShardedSimulator>(config);
+}
+
+}  // namespace abp::shard

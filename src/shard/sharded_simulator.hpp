@@ -1,0 +1,35 @@
+// Sharded front-end to the unified simulator interface (docs/SHARDING.md).
+//
+// make_sharded_simulator() returns a sim::Simulator whose run is split into
+// config.shard.count row bands, each simulated by a worker — a forked
+// process exchanging boundary frames over shared-memory rings by default, or
+// an in-process worker driven directly by the coordinator when
+// config.shard.in_process is set (the sanitizer-friendly transport the
+// determinism tests pin). Results are bit-identical to the monolithic run:
+// the coordinator replays the workers' journaled events in the monolithic
+// accumulation order when assembling the merged RunResult.
+//
+// Validation (throws std::invalid_argument from the factory):
+//   - count must fit the grid's junction rows (net::partition_rows),
+//   - the runtime invariant guard is not supported in sharded runs,
+//   - the microscopic backend requires a perfect sensor model (an imperfect
+//     one draws per-measurement randomness that masked junctions would skip,
+//     breaking the bit-identity contract),
+//   - the queueing backend requires every boundary road's free-flow time to
+//     exceed the step (so a cross-band transfer is never serviceable in the
+//     tick it was granted, which the one-tick message latency relies on),
+//   - count x backend-threads must not exceed the machine's hardware
+//     concurrency unless shard.allow_oversubscribe is set.
+#pragma once
+
+#include <memory>
+
+#include "src/scenario/scenario_config.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace abp::shard {
+
+[[nodiscard]] std::unique_ptr<sim::Simulator> make_sharded_simulator(
+    const scenario::ScenarioConfig& config);
+
+}  // namespace abp::shard

@@ -1,0 +1,117 @@
+// The narrow surface a backend simulator exposes to the sharding layer.
+//
+// A shard worker (src/shard/worker_core.hpp) owns one full-network backend
+// simulator but simulates only its band of the grid: the junction phase,
+// admission and the lane/queue sweeps are masked to the roads and junctions
+// the worker owns, and every cross-band effect travels through explicit
+// per-tick boundary messages (docs/SHARDING.md). This header defines the
+// data that crosses that boundary — vehicle transfer payloads, mirrored lane
+// rear states — plus the SimShardHooks staging block through which a sim
+// hands its per-tick events (granted-away vehicles, completions, blocked
+// counts, end-of-run open records) to its worker. It deliberately depends
+// only on id and geometry types so both simulators can include it without
+// pulling the shard layer's transport code into their translation units.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/net/geometry.hpp"
+#include "src/util/ids.hpp"
+
+namespace abp::shard {
+
+// Mirrored rear-of-lane state of one lane of a boundary road, enough for the
+// grantor's insertion-gap checks (MicroSim::entry_clear reads only the rear
+// vehicle's position). The grantor materializes it as a "phantom" vehicle —
+// an invalid VehicleId at `pos` — on its otherwise-unsimulated mirror lane.
+struct LaneRear {
+  bool occupied = false;
+  double pos = 0.0;
+};
+
+// One vehicle granted across a band seam by the microscopic simulator: the
+// grantor served it off its stop line into the junction box and the owner
+// releases it onto `road` next tick, exactly as the monolithic run would
+// have moved it between its own structures.
+struct MicroTransfer {
+  std::uint32_t road = 0;  // target road index (owned by the receiver)
+  std::int32_t lane = 0;   // target lane on `road`
+  std::uint64_t spawn_seq = 0;
+  std::uint64_t next_turn = 0;
+  double junction_exit = 0.0;  // time the junction box releases the vehicle
+  double entry_time = 0.0;
+  double waiting = 0.0;  // accumulated waiting total carried across
+  std::vector<net::Turn> turns;  // the route's full turn sequence
+};
+
+// One vehicle served across a band seam by the queueing simulator: arrives on
+// the owner's road `road` at `arrive_time` (stamped by the grantor with the
+// exact serve_time + free-flow arithmetic of the monolithic path).
+struct QueueTransfer {
+  std::uint32_t road = 0;
+  std::uint64_t spawn_seq = 0;
+  std::uint64_t next_turn = 0;
+  double arrive_time = 0.0;
+  double entry_time = 0.0;
+  double queue_time = 0.0;
+  std::vector<net::Turn> turns;
+};
+
+// One vehicle completion this tick, in the sim's canonical accumulation
+// order (exit-road order; FIFO within a road). The coordinator replays the
+// merged streams into the run metrics in (tick, exit_index) order, which is
+// exactly the order the monolithic run's apply_completions() added them.
+struct CompletionRecord {
+  std::uint32_t exit_index = 0;  // position in net_.exit_roads()
+  double waiting = 0.0;
+  double travel = 0.0;
+};
+
+// Nonzero entry-blocked accounting for one entry road this tick. Zero adds
+// are the bitwise identity on the accumulated double, so only nonzero counts
+// are recorded and replayed.
+struct BlockedRecord {
+  std::uint32_t entry_index = 0;  // position in net_.entry_roads()
+  std::uint32_t count = 0;        // vehicles waiting outside this tick
+};
+
+// End-of-run record of a vehicle still in the network, emitted by finish()
+// in spawn order. The coordinator merges the workers' streams by spawn_seq —
+// the global order the monolithic finish() closes them in.
+struct OpenRecord {
+  std::uint64_t spawn_seq = 0;
+  double waiting = 0.0;
+  double travel = 0.0;
+};
+
+// Ownership masks plus per-tick event staging shared between a worker's
+// backend simulator and its WorkerCore. The sim fills the outbox/logs during
+// its tick phases; the worker drains them when assembling boundary messages
+// and the per-tick event journal. Installed once, before the first step, via
+// the sims' set_shard_hooks(); a null hooks pointer is the monolithic fast
+// path and leaves every hot loop untouched.
+struct SimShardHooks {
+  // Masks by RoadId / IntersectionId index: nonzero = this worker simulates
+  // it. Remote roads hold only mirror state (occupancy, queued counts, lane
+  // rears) injected by the worker between phases.
+  std::vector<char> own_road;
+  std::vector<char> own_junction;
+  // Micro: insertion point in in_junction_ for transfers from the lower-band
+  // neighbor (recorded by step_begin after the release pass; see
+  // MicroSim::ingest_transfer for the ordering argument).
+  std::size_t junction_mark = 0;
+  // Vehicles granted onto remote roads this tick, in grant (= node-index)
+  // order. Exactly one of these is used per backend.
+  std::vector<MicroTransfer> micro_outbox;
+  std::vector<QueueTransfer> queue_outbox;
+  // This tick's completions (in exit-road order) and nonzero blocked counts
+  // (in entry-road order); cleared by the worker after each tick.
+  std::vector<CompletionRecord> completions;
+  std::vector<BlockedRecord> blocked;
+  // Filled once by finish(): still-open vehicle records in spawn order.
+  std::vector<OpenRecord> opens;
+};
+
+}  // namespace abp::shard

@@ -1,0 +1,390 @@
+#include "src/shard/worker_core.hpp"
+
+#include <type_traits>
+#include <utility>
+
+#include "src/detect/junction_monitor.hpp"
+#include "src/microsim/micro_sim.hpp"
+#include "src/queuesim/queue_sim.hpp"
+
+namespace abp::shard {
+namespace {
+
+template <typename Backend>
+inline constexpr bool kMicro = std::is_same_v<Backend, microsim::MicroSim>;
+
+void write_turns(ByteWriter& w, const std::vector<net::Turn>& turns) {
+  w.u32(static_cast<std::uint32_t>(turns.size()));
+  for (net::Turn t : turns) w.u8(static_cast<std::uint8_t>(t));
+}
+
+std::vector<net::Turn> read_turns(ByteReader& r) {
+  std::vector<net::Turn> turns(r.u32());
+  for (net::Turn& t : turns) t = static_cast<net::Turn>(r.u8());
+  return turns;
+}
+
+}  // namespace
+
+template <typename Backend>
+WorkerCore<Backend>::WorkerCore(const scenario::ScenarioConfig& config, net::ShardPlan plan,
+                                int shard, BoundaryLinks& links)
+    : config_(config),
+      plan_(std::move(plan)),
+      shard_(shard),
+      links_(links),
+      network_(sim::build_validated(config.grid)),
+      demand_(network_, config.demand, config.seed),
+      sim_(sim::construct_backend<Backend>(
+          config, network_, demand_,
+          sim::make_run_controllers(config, network_, &monitors_))),
+      events_(sim::build_capacity_events(config, network_)) {
+  hooks_.own_road.resize(network_.roads().size(), 0);
+  for (std::size_t r = 0; r < hooks_.own_road.size(); ++r) {
+    hooks_.own_road[r] = plan_.road_shard[r] == shard_ ? 1 : 0;
+  }
+  hooks_.own_junction.resize(network_.intersections().size(), 0);
+  for (std::size_t j = 0; j < hooks_.own_junction.size(); ++j) {
+    hooks_.own_junction[j] = plan_.junction_shard[j] == shard_ ? 1 : 0;
+  }
+  sim_.set_shard_hooks(&hooks_);
+
+  owned_from_prev_ = plan_.boundary_owned_by(shard_, shard_ - 1);
+  owned_from_next_ = plan_.boundary_owned_by(shard_, shard_ + 1);
+  remote_to_prev_ = plan_.boundary_owned_by(shard_ - 1, shard_);
+  remote_to_next_ = plan_.boundary_owned_by(shard_ + 1, shard_);
+  sent_prev_.assign(remote_to_prev_.size(), 0);
+  sent_next_.assign(remote_to_next_.size(), 0);
+  remote_pos_.assign(network_.roads().size(), -1);
+  for (std::size_t i = 0; i < remote_to_prev_.size(); ++i) {
+    remote_pos_[remote_to_prev_[i].index()] = static_cast<int>(i);
+  }
+  for (std::size_t i = 0; i < remote_to_next_.size(); ++i) {
+    remote_pos_[remote_to_next_[i].index()] = static_cast<int>(i);
+  }
+}
+
+template <typename Backend>
+void WorkerCore<Backend>::register_watch(std::uint32_t global_index, RoadId road,
+                                         std::string name) {
+  if (plan_.road_shard[road.index()] != shard_) return;
+  watches_.push_back({global_index, watches_.size()});
+  sim_.watch_road(road, std::move(name));
+}
+
+// Phase A — mirror ingestion, due capacity faults, step_begin, and (micro)
+// the post-admission Ex1 rears up to the grantor of the southbound roads.
+template <typename Backend>
+void WorkerCore<Backend>::phase_a() {
+  if (tick_ > 0) {
+    // Tick 0 has no preceding phase C; nothing is in flight yet.
+    if (shard_ > 0) ingest_ex2(shard_ - 1);
+    if (shard_ + 1 < plan_.count) ingest_ex2(shard_ + 1);
+  }
+  while (next_event_ < events_.size() && events_[next_event_].time_s <= sim_.now()) {
+    sim_.set_road_capacity(events_[next_event_].road, events_[next_event_].capacity);
+    ++next_event_;
+  }
+  sim_.step_begin();
+  if constexpr (kMicro<Backend>) {
+    if (shard_ > 0) {
+      // Rears of the roads this worker owns and the lower neighbor grants
+      // onto, after this tick's releases landed — the state the grantor's
+      // insertion-gap check reads in the monolithic junction pass.
+      ByteWriter w;
+      write_header(w, FrameKind::Ex1, tick_);
+      for (RoadId road : owned_from_prev_) {
+        rears_.clear();
+        sim_.collect_lane_rears(road, rears_);
+        w.u32(static_cast<std::uint32_t>(rears_.size()));
+        for (const LaneRear& lr : rears_) {
+          w.u8(lr.occupied ? 1 : 0);
+          w.f64(lr.pos);
+        }
+      }
+      links_.send(shard_ - 1, w.take());
+    }
+  }
+}
+
+// Phase B — the ascending service cascade. The token from the lower neighbor
+// carries the post-service state of the northbound boundary roads (this
+// worker grants onto them; their owner's junctions, at lower node indices,
+// have already served). Micro additionally needs the upper neighbor's Ex1
+// rears before its own junctions grant downward.
+template <typename Backend>
+void WorkerCore<Backend>::phase_b() {
+  if (shard_ > 0) {
+    Frame f = links_.recv(shard_ - 1);
+    ByteReader r(f);
+    check_header(r, FrameKind::Token, tick_);
+    for (RoadId road : remote_to_prev_) {
+      const int occ = r.i32();
+      if constexpr (kMicro<Backend>) {
+        sim_.set_remote_occupancy(road, occ);
+        rears_.resize(r.u32());
+        for (LaneRear& lr : rears_) {
+          lr.occupied = r.u8() != 0;
+          lr.pos = r.f64();
+        }
+        sim_.set_remote_lane_rears(road, rears_);
+      } else {
+        sim_.set_remote_road_state(road, occ, sim_.queued_on_road(road));
+      }
+    }
+  }
+  if constexpr (kMicro<Backend>) {
+    if (shard_ + 1 < plan_.count) {
+      Frame f = links_.recv(shard_ + 1);
+      ByteReader r(f);
+      check_header(r, FrameKind::Ex1, tick_);
+      for (RoadId road : remote_to_next_) {
+        rears_.resize(r.u32());
+        for (LaneRear& lr : rears_) {
+          lr.occupied = r.u8() != 0;
+          lr.pos = r.f64();
+        }
+        sim_.set_remote_lane_rears(road, rears_);
+      }
+    }
+  }
+  sim_.step_service();
+  if (shard_ + 1 < plan_.count) {
+    ByteWriter w;
+    write_header(w, FrameKind::Token, tick_);
+    for (RoadId road : owned_from_next_) {
+      w.i32(sim_.road_occupancy(road));
+      if constexpr (kMicro<Backend>) {
+        rears_.clear();
+        sim_.collect_lane_rears(road, rears_);
+        w.u32(static_cast<std::uint32_t>(rears_.size()));
+        for (const LaneRear& lr : rears_) {
+          w.u8(lr.occupied ? 1 : 0);
+          w.f64(lr.pos);
+        }
+      }
+    }
+    links_.send(shard_ + 1, w.take());
+  }
+}
+
+// Phase C — finish the tick locally, then publish: Ex2 both ways (fresh
+// mirrors of owned boundary roads + the vehicles granted onto each neighbor's
+// roads this tick, in grant order), and the tick-stamped event journal.
+template <typename Backend>
+void WorkerCore<Backend>::phase_c() {
+  sim_.step_finish();
+
+  const std::size_t outbox_size = kMicro<Backend> ? hooks_.micro_outbox.size()
+                                                  : hooks_.queue_outbox.size();
+  std::vector<std::size_t> to_prev, to_next;
+  for (std::size_t i = 0; i < outbox_size; ++i) {
+    const std::uint32_t road = kMicro<Backend> ? hooks_.micro_outbox[i].road
+                                               : hooks_.queue_outbox[i].road;
+    (plan_.road_shard[road] < shard_ ? to_prev : to_next).push_back(i);
+  }
+  if (shard_ > 0) send_ex2(shard_ - 1, to_prev);
+  if (shard_ + 1 < plan_.count) send_ex2(shard_ + 1, to_next);
+  hooks_.micro_outbox.clear();
+  hooks_.queue_outbox.clear();
+
+  for (const CompletionRecord& c : hooks_.completions) {
+    report_completions_.push_back({tick_, c.exit_index, c.waiting, c.travel});
+  }
+  hooks_.completions.clear();
+  for (const BlockedRecord& b : hooks_.blocked) {
+    report_blocked_.push_back({tick_, b.entry_index, b.count});
+  }
+  hooks_.blocked.clear();
+
+  tick_ += 1;
+}
+
+template <typename Backend>
+void WorkerCore<Backend>::send_ex2(int neighbor, const std::vector<std::size_t>& transfer_indices) {
+  ByteWriter w;
+  write_header(w, FrameKind::Ex2, tick_);
+  const std::vector<RoadId>& owned = neighbor < shard_ ? owned_from_prev_ : owned_from_next_;
+  for (RoadId road : owned) {
+    w.i32(sim_.road_occupancy(road));
+    if constexpr (kMicro<Backend>) {
+      w.i32(sim_.congestion_memo(road));
+    } else {
+      w.i32(sim_.queued_on_road(road));
+    }
+  }
+  std::vector<int>& sent = neighbor < shard_ ? sent_prev_ : sent_next_;
+  w.u32(static_cast<std::uint32_t>(transfer_indices.size()));
+  for (std::size_t i : transfer_indices) {
+    if constexpr (kMicro<Backend>) {
+      const MicroTransfer& t = hooks_.micro_outbox[i];
+      sent[static_cast<std::size_t>(remote_pos_[t.road])] += 1;
+      w.u32(t.road);
+      w.i32(t.lane);
+      w.u64(t.spawn_seq);
+      w.u64(t.next_turn);
+      w.f64(t.junction_exit);
+      w.f64(t.entry_time);
+      w.f64(t.waiting);
+      write_turns(w, t.turns);
+    } else {
+      const QueueTransfer& t = hooks_.queue_outbox[i];
+      sent[static_cast<std::size_t>(remote_pos_[t.road])] += 1;
+      w.u32(t.road);
+      w.u64(t.spawn_seq);
+      w.u64(t.next_turn);
+      w.f64(t.arrive_time);
+      w.f64(t.entry_time);
+      w.f64(t.queue_time);
+      write_turns(w, t.turns);
+    }
+  }
+  links_.send(neighbor, w.take());
+}
+
+template <typename Backend>
+void WorkerCore<Backend>::ingest_ex2(int neighbor) {
+  const bool from_lower = neighbor < shard_;
+  const std::vector<RoadId>& mirrors = from_lower ? remote_to_prev_ : remote_to_next_;
+  std::vector<int>& sent = from_lower ? sent_prev_ : sent_next_;
+  Frame f = links_.recv(neighbor);
+  ByteReader r(f);
+  check_header(r, FrameKind::Ex2, tick_ - 1);
+  for (std::size_t i = 0; i < mirrors.size(); ++i) {
+    // The owner's snapshot predates the transfers this worker sent it in the
+    // same phase C; add them back so the mirror matches the monolithic value
+    // once the owner ingests them (which it does before reading anything).
+    const int occ = r.i32() + sent[i];
+    const int cong = r.i32();
+    sent[i] = 0;
+    if constexpr (kMicro<Backend>) {
+      sim_.set_remote_occupancy(mirrors[i], occ);
+      sim_.set_remote_congestion(mirrors[i], cong);
+    } else {
+      sim_.set_remote_road_state(mirrors[i], occ, cong);
+    }
+  }
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if constexpr (kMicro<Backend>) {
+      MicroTransfer t;
+      t.road = r.u32();
+      t.lane = r.i32();
+      t.spawn_seq = r.u64();
+      t.next_turn = r.u64();
+      t.junction_exit = r.f64();
+      t.entry_time = r.f64();
+      t.waiting = r.f64();
+      t.turns = read_turns(r);
+      sim_.ingest_transfer(t, from_lower);
+    } else {
+      QueueTransfer t;
+      t.road = r.u32();
+      t.spawn_seq = r.u64();
+      t.next_turn = r.u64();
+      t.arrive_time = r.f64();
+      t.entry_time = r.f64();
+      t.queue_time = r.f64();
+      t.turns = read_turns(r);
+      sim_.ingest_transfer(t);
+    }
+  }
+}
+
+template <typename Backend>
+void WorkerCore<Backend>::tick() {
+  phase_a();
+  phase_b();
+  phase_c();
+}
+
+template <typename Backend>
+SliceCounters WorkerCore<Backend>::counters() {
+  // run_until at the current time is a no-op that hands back the live result
+  // accumulator; only the counters are read (full metrics merge at finish).
+  const stats::RunResult& result = sim_.run_until(sim_.now());
+  SliceCounters c;
+  c.now_s = sim_.now();
+  c.generated = result.metrics.generated;
+  c.entered = result.metrics.entered;
+  c.completed = result.metrics.completed;
+  return c;
+}
+
+template <typename Backend>
+WorkerReport WorkerCore<Backend>::finish(double duration_s) {
+  // Vehicles granted across a seam in the final tick's phase C are still in
+  // flight — the run ended before the next phase A would ingest them. In the
+  // monolithic run they are already on (or in the junction box of) the target
+  // road and close as open records; ingest them now so finish() sees them.
+  if (tick_ > 0) {
+    if (shard_ > 0) ingest_ex2(shard_ - 1);
+    if (shard_ + 1 < plan_.count) ingest_ex2(shard_ + 1);
+  }
+  stats::RunResult result = sim_.finish(duration_s);
+  WorkerReport rep;
+  rep.generated = result.metrics.generated;
+  rep.entered = result.metrics.entered;
+  rep.duration_s = result.duration_s;
+  rep.completions = std::move(report_completions_);
+  rep.blocked = std::move(report_blocked_);
+  rep.opens = std::move(hooks_.opens);
+
+  const stats::TimeSeries& in = result.in_network_series;
+  rep.in_network_series.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    rep.in_network_series.push_back({in.times()[i], in.values()[i]});
+  }
+  rep.road_series.reserve(watches_.size());
+  for (const LocalWatch& lw : watches_) {
+    const stats::TimeSeries& s = result.road_series[lw.local_index];
+    ReportSeries out;
+    out.global_index = lw.global_index;
+    out.points.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      out.points.push_back({s.times()[i], s.values()[i]});
+    }
+    rep.road_series.push_back(std::move(out));
+  }
+  for (std::size_t j = 0; j < network_.intersections().size(); ++j) {
+    if (plan_.junction_shard[j] != shard_) continue;
+    rep.phase_traces.push_back({static_cast<std::uint32_t>(j),
+                                result.phase_traces[j].end_time(),
+                                result.phase_traces[j].samples()});
+  }
+  if (!monitors_.empty()) {
+    for (std::size_t j = 0; j < network_.intersections().size(); ++j) {
+      if (plan_.junction_shard[j] != shard_) continue;
+      const detect::JunctionMonitor& m = monitors_[j]->monitor();
+      rep.detections.push_back({static_cast<std::uint32_t>(j), m.samples(), m.events()});
+    }
+  }
+  return rep;
+}
+
+template <typename Backend>
+int WorkerCore<Backend>::query(QueryWhat what, std::uint32_t index) const {
+  switch (what) {
+    case QueryWhat::RoadOccupancy:
+      return sim_.road_occupancy(RoadId{index});
+    case QueryWhat::QueuedOnRoad:
+      return sim_.queued_on_road(RoadId{index});
+    case QueryWhat::DisplayedPhase:
+      return sim_.displayed_phase(IntersectionId{index});
+    case QueryWhat::VehiclesInNetwork: {
+      // Vehicles this worker granted across a seam last tick are still in
+      // flight (the owner ingests them next phase A); they are in the network
+      // in the monolithic count, so the grantor carries them here.
+      int in_flight = 0;
+      for (int n : sent_prev_) in_flight += n;
+      for (int n : sent_next_) in_flight += n;
+      return sim_.vehicles_in_network() + in_flight;
+    }
+  }
+  return 0;
+}
+
+template class WorkerCore<microsim::MicroSim>;
+template class WorkerCore<queuesim::QueueSim>;
+
+}  // namespace abp::shard

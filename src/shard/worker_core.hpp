@@ -1,0 +1,130 @@
+// One shard worker's engine: a full-network backend simulator masked to its
+// row band, plus the per-tick boundary exchange (docs/SHARDING.md).
+//
+// Every worker builds the *entire* object graph — network, demand generator,
+// controller set — through src/sim/run_setup.hpp, exactly as the monolithic
+// run does, then installs ownership masks so it simulates only the junctions
+// and roads of its band. Determinism follows: all random streams (demand,
+// fault noise) are seeded and consumed identically in every worker, and the
+// cross-band couplings travel through explicit messages delivered in the
+// canonical boundary order, so the K-shard run replays the monolithic tick
+// bit for bit (ShardInvariance pins this).
+//
+// A tick is three phases, mirroring the backends' step split:
+//   phase A  ingest the neighbors' end-of-last-tick Ex2 (mirror state +
+//            vehicle transfers), apply due capacity faults, run
+//            step_begin() (control / sampling / admission / release), then
+//            (micro) send the post-admission lane rears of the southbound
+//            boundary roads to the upper neighbor (Ex1).
+//   phase B  receive the upper neighbor's service token (post-service
+//            occupancy, micro: + rears, of the northbound boundary roads)
+//            and (micro) the lower neighbor's Ex1, run step_service(), then
+//            send the token downward. Tokens cascade in ascending shard
+//            order — the sharded image of the monolithic junction pass's
+//            node-index order across bands.
+//   phase C  run step_finish() (the band's road sweep + completions), then
+//            send Ex2 both ways: fresh mirror state of owned boundary roads
+//            and the vehicles granted onto the neighbor's roads this tick.
+//            Per-tick events (completions, blocked counts) drain into the
+//            tick-stamped journal the coordinator replays at finish.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/adaptive_controller.hpp"
+#include "src/net/network.hpp"
+#include "src/net/partition.hpp"
+#include "src/scenario/scenario_config.hpp"
+#include "src/shard/channel.hpp"
+#include "src/shard/messages.hpp"
+#include "src/shard/sim_hooks.hpp"
+#include "src/sim/run_setup.hpp"
+#include "src/traffic/demand.hpp"
+
+namespace abp::shard {
+
+template <typename Backend>
+class WorkerCore {
+ public:
+  // `config` and `links` must outlive the core. `plan` is the partition this
+  // worker's masks and boundary lists derive from; `shard` is this worker's
+  // band index.
+  WorkerCore(const scenario::ScenarioConfig& config, net::ShardPlan plan, int shard,
+             BoundaryLinks& links);
+
+  // Registers a road watch if this worker owns the road (no-op otherwise);
+  // `global_index` is the coordinator's registration index, echoed in the
+  // report so the merged result places the series correctly.
+  void register_watch(std::uint32_t global_index, RoadId road, std::string name);
+
+  // The three phases of one tick; see the header comment for the protocol.
+  // The caller (fork worker loop, or the in-process coordinator) must run
+  // A, then B in ascending shard order across workers, then C.
+  void phase_a();
+  void phase_b();
+  void phase_c();
+  // One full tick — valid only when each recv can block until the neighbor
+  // catches up, i.e. on the fork transport.
+  void tick();
+
+  [[nodiscard]] double now() const noexcept { return sim_.now(); }
+  [[nodiscard]] SliceCounters counters();
+
+  // Closes the backend run and assembles this worker's share of the merged
+  // result. The caller must have driven the ticks to `duration_s` already.
+  [[nodiscard]] WorkerReport finish(double duration_s);
+
+  [[nodiscard]] int query(QueryWhat what, std::uint32_t index) const;
+
+ private:
+  void ingest_ex2(int neighbor);
+  void send_ex2(int neighbor, const std::vector<std::size_t>& transfer_indices);
+
+  const scenario::ScenarioConfig& config_;
+  net::ShardPlan plan_;
+  int shard_;
+  BoundaryLinks& links_;
+
+  net::Network network_;
+  traffic::DemandGenerator demand_;
+  // AdaptiveController per junction when the detector is enabled; pointees
+  // owned by sim_'s controllers. Declared before sim_ (filled during its
+  // construction); hooks_ declared before sim_ too (sim_ keeps a pointer).
+  std::vector<const core::AdaptiveController*> monitors_;
+  SimShardHooks hooks_;
+  Backend sim_;
+  std::vector<sim::CapacityEvent> events_;
+  std::size_t next_event_ = 0;
+
+  // Boundary lists (ShardPlan::boundary_owned_by, canonical ascending-road
+  // order): roads this worker owns whose grantor is the lower / upper
+  // neighbor, and roads the neighbors own that this worker grants onto.
+  std::vector<RoadId> owned_from_prev_, owned_from_next_;
+  std::vector<RoadId> remote_to_prev_, remote_to_next_;
+  // Transfers sent onto each remote boundary road last tick (parallel to the
+  // remote_to_* lists): added to the neighbor's next Ex2 occupancy snapshot,
+  // which cannot yet include the in-flight vehicles.
+  std::vector<int> sent_prev_, sent_next_;
+  // Position of each remote boundary road in its remote_to_* list (-1 for
+  // every other road), for O(1) sent-count updates while draining outboxes.
+  std::vector<int> remote_pos_;
+
+  std::uint64_t tick_ = 0;
+
+  struct LocalWatch {
+    std::uint32_t global_index;
+    std::size_t local_index;
+  };
+  std::vector<LocalWatch> watches_;
+
+  // Tick-stamped event journal, drained from hooks_ each phase C.
+  std::vector<ReportCompletion> report_completions_;
+  std::vector<ReportBlocked> report_blocked_;
+
+  // Reused scratch for lane-rear frames (micro).
+  std::vector<LaneRear> rears_;
+};
+
+}  // namespace abp::shard

@@ -14,231 +14,12 @@
 #include "src/net/grid.hpp"
 #include "src/net/validation.hpp"
 #include "src/queuesim/queue_sim.hpp"
+#include "src/shard/sharded_simulator.hpp"
+#include "src/sim/run_setup.hpp"
 #include "src/sim/simulator_guard.hpp"
 
 namespace abp::sim {
 namespace {
-
-// Seed salt for the fault decorators' noise streams: keeps them disjoint
-// from the demand streams (config.seed) and the micro dawdle/sensor streams
-// (config.seed + 0x5157), whatever junction index is used as the stream id.
-constexpr std::uint64_t kFaultSeedSalt = 0xFA17ULL;
-
-// Builds and validates the grid before any backend state references it.
-net::Network build_validated(const net::GridConfig& grid) {
-  net::Network network = net::build_grid(grid);
-  net::validate_or_throw(network);
-  return network;
-}
-
-IntersectionId resolve_node(const net::Network& network, int row, int col,
-                            const char* what) {
-  const auto node = network.at_grid(row, col);
-  if (!node) {
-    throw std::invalid_argument(std::string(what) +
-                                " references a junction outside the grid");
-  }
-  return *node;
-}
-
-RoadId resolve_approach(const net::Network& network, int row, int col, net::Side side,
-                        const char* what) {
-  const IntersectionId node = resolve_node(network, row, col, what);
-  const RoadId road = network.intersection(node).incoming_on(side);
-  if (!road.valid()) {
-    throw std::invalid_argument(std::string(what) + " names a missing approach");
-  }
-  return road;
-}
-
-RoadId resolve_watch(const net::Network& network, const scenario::WatchSpec& w) {
-  return resolve_approach(network, w.row, w.col, w.side, "watch");
-}
-
-// The effective per-junction ControllerSpec: the run-wide spec, unless a
-// controller override names the junction (last matching override wins).
-const core::ControllerSpec& effective_spec(const scenario::ScenarioConfig& config,
-                                           const net::Network& network,
-                                           IntersectionId node) {
-  const core::ControllerSpec* spec = &config.controller;
-  for (const scenario::ControllerOverride& o : config.controller_overrides) {
-    const IntersectionId target =
-        resolve_node(network, o.node.row, o.node.col, "controller override");
-    if (target == node) spec = &o.spec;
-  }
-  return *spec;
-}
-
-// The incident-tuned variant of a spec, for AdaptiveController's upward-shift
-// mode (docs/CHANGEPOINT.md, "Re-tuning"). The shared idea: under a detected
-// overload regime, hold phases longer — every transition inserts an amber
-// interval that serves nobody, and amber loss is pure waste precisely when
-// every approach is saturated. Returns nullopt when the policy has no useful
-// variant (classical fixed-time; UTIL-BP already holding maximally):
-// adaptation then degrades to reset-on-detection.
-std::optional<core::ControllerSpec> retuned_spec(const core::ControllerSpec& spec) {
-  core::ControllerSpec tuned = spec;
-  switch (spec.type) {
-    case core::ControllerType::UtilBp:
-      // G* = 0 removes the sentinel's early-switch pressure: phases hold
-      // until the backlog comparison itself flips, trading responsiveness
-      // for fewer amber insertions.
-      if (spec.util.gstar_policy == core::GStarPolicy::Zero) return std::nullopt;
-      tuned.util.gstar_policy = core::GStarPolicy::Zero;
-      return tuned;
-    case core::ControllerType::CapBp:
-    case core::ControllerType::OriginalBp:
-      // Double the slot period: half the decision (and amber) rate. Also
-      // force the work-conserving fallback — idling a whole doubled slot
-      // would be twice as costly.
-      tuned.fixed_slot.period_s = 2.0 * spec.fixed_slot.period_s;
-      tuned.fixed_slot.work_conserving = true;
-      return tuned;
-    case core::ControllerType::FixedTime:
-      return std::nullopt;
-  }
-  return std::nullopt;
-}
-
-// One controller per intersection — the run-wide spec with any per-junction
-// overrides applied — wrapped (inside out) in a core::AdaptiveController when
-// the scenario enables the changepoint detector, and in a
-// core::FaultInjectedController at the junctions named by the fault schedule.
-// That order puts the monitor behind the fault decorator, so it watches
-// exactly the possibly-faulted readings the policy acts on. Junctions without
-// faults in a detector-free run keep their plain controller — a run with an
-// empty schedule builds exactly the controller set it always has.
-//
-// When `monitors` is non-null it receives one AdaptiveController pointer per
-// junction (in junction-index order); the pointees are owned by the returned
-// controllers (directly or via their fault wrapper) and stay stable for the
-// simulator's lifetime.
-std::vector<core::ControllerPtr> make_run_controllers(
-    const scenario::ScenarioConfig& config, const net::Network& network,
-    std::vector<const core::AdaptiveController*>* monitors) {
-  std::vector<core::ControllerPtr> controllers;
-  if (config.controller_overrides.empty() && !config.detector.enabled) {
-    controllers = core::make_controllers(config.controller, network);
-  } else {
-    // Validate every override (resolve_node throws on out-of-grid nodes) and
-    // stamp each junction from its effective spec.
-    controllers.reserve(network.intersections().size());
-    double cap = 0.0;
-    for (const net::Road& road : network.roads()) {
-      cap = std::max(cap, static_cast<double>(road.capacity));
-    }
-    for (const net::Intersection& node : network.intersections()) {
-      const core::ControllerSpec& spec = effective_spec(config, network, node.id);
-      core::ControllerPtr controller =
-          core::make_controller(spec, core::make_plan(network, node), cap);
-      if (config.detector.enabled) {
-        core::ControllerPtr tuned;
-        if (const auto tuned_spec = retuned_spec(spec)) {
-          tuned = core::make_controller(*tuned_spec, core::make_plan(network, node), cap);
-        }
-        auto adaptive = std::make_unique<core::AdaptiveController>(
-            std::move(controller), std::move(tuned),
-            detect::JunctionMonitor(config.detector,
-                                    static_cast<int>(node.links.size()),
-                                    node.grid_row, node.grid_col));
-        if (monitors != nullptr) monitors->push_back(adaptive.get());
-        controller = std::move(adaptive);
-      }
-      controllers.push_back(std::move(controller));
-    }
-  }
-  if (config.faults.sensors.empty() && config.faults.controllers.empty()) {
-    return controllers;
-  }
-
-  std::vector<std::vector<core::SensorFaultWindow>> sensor_windows(controllers.size());
-  std::vector<std::vector<core::ControllerFaultWindow>> failure_windows(
-      controllers.size());
-  for (const scenario::SensorFault& f : config.faults.sensors) {
-    const IntersectionId node =
-        resolve_node(network, f.node.row, f.node.col, "sensor fault");
-    sensor_windows[node.index()].push_back(
-        {f.start_s, f.end_s, f.kind, f.bias, f.noise_magnitude});
-  }
-  for (const scenario::ControllerFault& f : config.faults.controllers) {
-    const IntersectionId node =
-        resolve_node(network, f.node.row, f.node.col, "controller fault");
-    failure_windows[node.index()].push_back({f.fail_s, f.recover_s});
-  }
-
-  for (const net::Intersection& node : network.intersections()) {
-    const std::size_t i = node.id.index();
-    if (sensor_windows[i].empty() && failure_windows[i].empty()) continue;
-    // The degraded-mode fallback is classical pre-timed control, built from
-    // the junction's effective spec's fixed-time parameters (so an overridden
-    // corridor junction fails over with its own offsets intact).
-    core::ControllerSpec fallback_spec;
-    fallback_spec.type = core::ControllerType::FixedTime;
-    fallback_spec.fixed_time = effective_spec(config, network, node.id).fixed_time;
-    controllers[i] = std::make_unique<core::FaultInjectedController>(
-        std::move(controllers[i]),
-        core::make_controller(fallback_spec, core::make_plan(network, node)),
-        std::move(failure_windows[i]), std::move(sensor_windows[i]),
-        config.seed + kFaultSeedSalt, static_cast<std::uint64_t>(i));
-  }
-  return controllers;
-}
-
-// A capacity change the adapter applies once sim time reaches time_s.
-struct CapacityEvent {
-  double time_s = 0.0;
-  RoadId road;
-  int capacity = 0;
-};
-
-// Expands the schedule's capacity faults into a time-sorted event list:
-// a drop to floor(factor * W) at start_s, and (for finite windows) a
-// restoration to the design W at end_s. Stable sort: simultaneous events
-// apply in schedule order, so "last writer wins" is well defined and
-// deterministic.
-std::vector<CapacityEvent> build_capacity_events(const scenario::ScenarioConfig& config,
-                                                 const net::Network& network) {
-  std::vector<CapacityEvent> events;
-  events.reserve(config.faults.capacity.size() * 2);
-  for (const scenario::CapacityFault& f : config.faults.capacity) {
-    const RoadId road = resolve_approach(network, f.road.row, f.road.col, f.road.side,
-                                         "capacity fault");
-    const int design = network.road(road).capacity;
-    const int reduced = static_cast<int>(f.capacity_factor * design);
-    events.push_back({f.start_s, road, reduced});
-    if (f.end_s < std::numeric_limits<double>::infinity()) {
-      events.push_back({f.end_s, road, design});
-    }
-  }
-  std::stable_sort(events.begin(), events.end(),
-                   [](const CapacityEvent& a, const CapacityEvent& b) {
-                     return a.time_s < b.time_s;
-                   });
-  return events;
-}
-
-// Per-backend construction (the only thing the two backends don't share):
-// returned as a prvalue so guaranteed copy elision constructs the simulator
-// in place — the backends hold reference members and are not movable.
-template <typename Backend>
-Backend construct_backend(const scenario::ScenarioConfig& config,
-                          const net::Network& network, traffic::DemandGenerator& demand,
-                          std::vector<core::ControllerPtr> controllers);
-
-template <>
-microsim::MicroSim construct_backend<microsim::MicroSim>(
-    const scenario::ScenarioConfig& config, const net::Network& network,
-    traffic::DemandGenerator& demand, std::vector<core::ControllerPtr> controllers) {
-  return microsim::MicroSim(network, config.micro, std::move(controllers), demand,
-                            config.seed + 0x5157u);
-}
-
-template <>
-queuesim::QueueSim construct_backend<queuesim::QueueSim>(
-    const scenario::ScenarioConfig& config, const net::Network& network,
-    traffic::DemandGenerator& demand, std::vector<core::ControllerPtr> controllers) {
-  return queuesim::QueueSim(network, config.queue, std::move(controllers), demand);
-}
 
 // Owns the full object graph of one run: network, demand, backend. Members
 // are declared in dependency order — the backend holds references into the
@@ -398,8 +179,15 @@ std::unique_ptr<Simulator> make_simulator(const scenario::ScenarioConfig& config
       throw std::invalid_argument("detector cooldown_s must be >= 0");
     }
   }
+  if (config.shard.count < 1) {
+    throw std::invalid_argument("shard.count must be at least 1");
+  }
   std::unique_ptr<Simulator> sim;
-  if (config.simulator == scenario::SimulatorKind::Micro) {
+  if (config.shard.count > 1) {
+    // Multi-process (or in-process multi-worker) sharded run; bit-identical
+    // to the monolithic path below (docs/SHARDING.md).
+    sim = shard::make_sharded_simulator(config);
+  } else if (config.simulator == scenario::SimulatorKind::Micro) {
     sim = std::make_unique<BackendSimulator<microsim::MicroSim>>(config);
   } else {
     sim = std::make_unique<BackendSimulator<queuesim::QueueSim>>(config);

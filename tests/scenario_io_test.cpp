@@ -35,19 +35,21 @@ TEST(ScenarioIoTest, EmptyObjectNeedsVersion) {
 
 TEST(ScenarioIoTest, UnsupportedVersionIsRejected) {
   ExpectLoadError(
-      R"({"version": 3})",
-      "version: unsupported schema version 3 (this build reads versions 1 through 2)");
+      R"({"version": 4})",
+      "version: unsupported schema version 4 (this build reads versions 1 through 3)");
   ExpectLoadError(
       R"({"version": 0})",
-      "version: unsupported schema version 0 (this build reads versions 1 through 2)");
+      "version: unsupported schema version 0 (this build reads versions 1 through 3)");
 }
 
 TEST(ScenarioIoTest, OlderSchemaVersionsStillLoad) {
-  // Version 1 predates the detector section; a v1 document loads with the
-  // detector at its disabled default and re-dumps at the current version.
+  // Version 1 predates the detector (v2) and shard (v3) sections; a v1
+  // document loads with both at their disabled defaults and re-dumps at the
+  // current version.
   const ScenarioConfig cfg = load_scenario(R"({"version": 1})");
   EXPECT_FALSE(cfg.detector.enabled);
-  EXPECT_NE(dump_scenario(cfg).find("\"version\": 2"), std::string::npos);
+  EXPECT_EQ(cfg.shard.count, 1);
+  EXPECT_NE(dump_scenario(cfg).find("\"version\": 3"), std::string::npos);
 }
 
 TEST(ScenarioIoTest, MinimalScenarioLoadsDefaults) {
@@ -229,6 +231,8 @@ ScenarioConfig FullConfig() {
   cfg.guard.enabled = true;
   cfg.guard.policy = GuardPolicy::Record;
   cfg.guard.interval_s = 2.5;
+  cfg.shard.count = 2;
+  cfg.shard.allow_oversubscribe = true;
   return cfg;
 }
 
@@ -274,6 +278,8 @@ TEST(ScenarioIoTest, RoundTripPreservesEveryField) {
   EXPECT_TRUE(back.guard.enabled);
   EXPECT_EQ(back.guard.policy, GuardPolicy::Record);
   EXPECT_EQ(back.guard.interval_s, cfg.guard.interval_s);
+  EXPECT_EQ(back.shard.count, 2);
+  EXPECT_TRUE(back.shard.allow_oversubscribe);
 }
 
 TEST(ScenarioIoTest, DumpIsByteStableUnderReload) {

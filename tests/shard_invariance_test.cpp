@@ -1,0 +1,184 @@
+// Shard-invariance pins (docs/SHARDING.md).
+//
+// The contract of the sharding layer is absolute: a K-shard run is
+// bit-identical to the monolithic run — every metric double, every series
+// sample, every phase-trace change point, every detection event. These tests
+// pin that for K in {2, 4} on both backends, over scenarios that exercise
+// every cross-band coupling at once: saturating demand (boundary roads fill,
+// so downstream-capacity mirrors gate real decisions), capacity and sensor
+// faults, the changepoint detector, and road watches on both interior and
+// boundary approaches.
+//
+// Most cases run the in-process transport (the coordinator drives every
+// worker's phases over deque channels): single-process and schedule-free, so
+// a failure is a protocol bug, never flakiness — and the only mode usable
+// under TSan. One case per backend repeats K=2 over the fork transport,
+// pinning that real processes exchanging the same frames over shared-memory
+// rings reproduce the same bits; a crash test pins that a dying worker
+// surfaces as ExperimentRunner's Error outcome instead of a hang.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/exp/experiment_runner.hpp"
+#include "src/scenario/scenario.hpp"
+#include "tests/result_compare.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define ABP_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ABP_TSAN 1
+#endif
+#endif
+
+namespace abp {
+namespace {
+
+scenario::ScenarioConfig shard_config(scenario::SimulatorKind kind,
+                                      traffic::PatternKind pattern, std::uint64_t seed) {
+  scenario::ScenarioConfig cfg =
+      scenario::paper_scenario(pattern, core::ControllerType::UtilBp);
+  cfg.simulator = kind;
+  cfg.seed = seed;
+  // Four junction rows so the same scenario splits into 2 and 4 row bands;
+  // 3 columns keep the run cheap while every band still has interior roads.
+  cfg.grid.rows = 4;
+  cfg.grid.cols = 3;
+  cfg.duration_s = 400.0;
+  // Watches on a boundary approach (the road from the North into row 1 spans
+  // the band seam at K=2 and K=4) and an interior one.
+  cfg.watches.push_back({1, 1, net::Side::North, "seam_approach"});
+  cfg.watches.push_back({0, 0, net::Side::East, "corner_approach"});
+  return cfg;
+}
+
+// Adds the cross-band stress: a mid-run capacity incident on a boundary
+// approach, a biased sensor at a seam junction, and the changepoint detector
+// (whose merged event stream pins the detection replay).
+void add_faults_and_detector(scenario::ScenarioConfig& cfg) {
+  scenario::CapacityFault capacity;
+  capacity.road = {1, 1, net::Side::North};
+  capacity.start_s = 120.0;
+  capacity.end_s = 260.0;
+  capacity.capacity_factor = 0.3;
+  cfg.faults.capacity.push_back(capacity);
+  scenario::SensorFault sensor;
+  sensor.node = {2, 1};
+  sensor.start_s = 80.0;
+  sensor.end_s = 300.0;
+  sensor.kind = core::SensorFaultKind::Noise;
+  sensor.bias = 3;
+  sensor.noise_magnitude = 2;
+  cfg.faults.sensors.push_back(sensor);
+  cfg.detector.enabled = true;
+}
+
+stats::RunResult run_sharded(scenario::ScenarioConfig cfg, int count, bool in_process) {
+  cfg.shard.count = count;
+  cfg.shard.in_process = in_process;
+  // Correctness is schedule-free; these tests run on single-core CI boxes.
+  cfg.shard.allow_oversubscribe = true;
+  return scenario::run_scenario(cfg);
+}
+
+void expect_shards_invariant(const scenario::ScenarioConfig& cfg) {
+  const stats::RunResult mono = scenario::run_scenario(cfg);
+  for (int count : {2, 4}) {
+    SCOPED_TRACE("shards=" + std::to_string(count));
+    testing::expect_results_identical(mono, run_sharded(cfg, count, /*in_process=*/true));
+  }
+}
+
+TEST(ShardInvariance, MicroBitIdenticalHeavyDemand) {
+  // Pattern III saturates the grid: boundary roads spill back, so the
+  // grantor-side occupancy and congestion mirrors gate real admissions.
+  expect_shards_invariant(
+      shard_config(scenario::SimulatorKind::Micro, traffic::PatternKind::III, 21));
+}
+
+TEST(ShardInvariance, MicroBitIdenticalWithFaultsAndDetector) {
+  scenario::ScenarioConfig cfg =
+      shard_config(scenario::SimulatorKind::Micro, traffic::PatternKind::II, 22);
+  add_faults_and_detector(cfg);
+  expect_shards_invariant(cfg);
+}
+
+TEST(ShardInvariance, QueueBitIdenticalHeavyDemand) {
+  expect_shards_invariant(
+      shard_config(scenario::SimulatorKind::Queue, traffic::PatternKind::III, 23));
+}
+
+TEST(ShardInvariance, QueueBitIdenticalWithFaultsAndDetector) {
+  scenario::ScenarioConfig cfg =
+      shard_config(scenario::SimulatorKind::Queue, traffic::PatternKind::II, 24);
+  add_faults_and_detector(cfg);
+  expect_shards_invariant(cfg);
+}
+
+TEST(ShardInvariance, ForkTransportMatchesMonolithicMicro) {
+#ifdef ABP_TSAN
+  GTEST_SKIP() << "fork-based workers are not TSan-instrumentable";
+#endif
+  const scenario::ScenarioConfig cfg =
+      shard_config(scenario::SimulatorKind::Micro, traffic::PatternKind::III, 25);
+  const stats::RunResult mono = scenario::run_scenario(cfg);
+  testing::expect_results_identical(mono, run_sharded(cfg, 2, /*in_process=*/false));
+}
+
+TEST(ShardInvariance, ForkTransportMatchesMonolithicQueue) {
+#ifdef ABP_TSAN
+  GTEST_SKIP() << "fork-based workers are not TSan-instrumentable";
+#endif
+  const scenario::ScenarioConfig cfg =
+      shard_config(scenario::SimulatorKind::Queue, traffic::PatternKind::III, 26);
+  const stats::RunResult mono = scenario::run_scenario(cfg);
+  testing::expect_results_identical(mono, run_sharded(cfg, 2, /*in_process=*/false));
+}
+
+TEST(ShardInvariance, RejectsGuardAndBadCounts) {
+  scenario::ScenarioConfig cfg =
+      shard_config(scenario::SimulatorKind::Queue, traffic::PatternKind::I, 27);
+  cfg.shard.count = 2;
+  cfg.shard.allow_oversubscribe = true;
+  cfg.guard.enabled = true;
+  EXPECT_THROW((void)scenario::run_scenario(cfg), std::invalid_argument);
+  cfg.guard.enabled = false;
+  cfg.shard.count = 5;  // more shards than junction rows
+  EXPECT_THROW((void)scenario::run_scenario(cfg), std::invalid_argument);
+  cfg.shard.count = 0;
+  EXPECT_THROW((void)scenario::run_scenario(cfg), std::invalid_argument);
+}
+
+TEST(ShardInvariance, RejectsImperfectMicroSensor) {
+  scenario::ScenarioConfig cfg =
+      shard_config(scenario::SimulatorKind::Micro, traffic::PatternKind::I, 28);
+  cfg.shard.count = 2;
+  cfg.shard.allow_oversubscribe = true;
+  cfg.micro.sensor.detection_probability = 0.9;
+  EXPECT_THROW((void)scenario::run_scenario(cfg), std::invalid_argument);
+}
+
+// A worker process dying mid-run must surface as a failed run — the
+// coordinator's liveness poll converts the death into an exception, which
+// ExperimentRunner captures as Outcome::Error with the batch intact.
+TEST(ShardInvariance, WorkerCrashReportsErrorWithoutHanging) {
+#ifdef ABP_TSAN
+  GTEST_SKIP() << "fork-based workers are not TSan-instrumentable";
+#endif
+  scenario::ScenarioConfig cfg =
+      shard_config(scenario::SimulatorKind::Queue, traffic::PatternKind::I, 29);
+  cfg.duration_s = 200.0;
+  cfg.shard.count = 2;
+  cfg.shard.allow_oversubscribe = true;
+  cfg.shard.crash_worker = 1;
+  cfg.shard.crash_at_s = 60.0;
+  exp::ExperimentRunner runner;
+  const std::vector<exp::RunStatus> statuses = runner.run_statuses({cfg});
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].outcome, exp::RunStatus::Outcome::Error);
+  EXPECT_NE(statuses[0].error.find("shard worker"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace abp
