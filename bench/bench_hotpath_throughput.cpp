@@ -39,15 +39,6 @@
 namespace abp::bench {
 namespace {
 
-constexpr const char* kCompiler =
-#if defined(__clang__)
-    "clang " __clang_version__;
-#elif defined(__GNUC__)
-    "gcc " __VERSION__;
-#else
-    "unknown";
-#endif
-
 struct Row {
   int grid = 0;
   std::string sim;
@@ -80,14 +71,15 @@ Row drive(Sim& sim, const char* name, int grid, int threads, double duration_s, 
   row.threads = threads;
   row.sim_seconds = duration_s;
   const double ticks_per_second = 1.0 / dt_s;
-  const auto start = std::chrono::steady_clock::now();
-  for (double t = 1.0; t <= duration_s; t += 1.0) {
-    sim.run_until(t);
-    row.vehicle_steps +=
-        static_cast<long long>(sim.vehicles_in_network() * ticks_per_second);
-  }
-  const stats::RunResult result = sim.finish(duration_s);
-  row.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  stats::RunResult result;
+  row.wall_seconds = timed_seconds([&] {
+    for (double t = 1.0; t <= duration_s; t += 1.0) {
+      sim.run_until(t);
+      row.vehicle_steps +=
+          static_cast<long long>(sim.vehicles_in_network() * ticks_per_second);
+    }
+    result = sim.finish(duration_s);
+  });
   row.completed = result.metrics.completed;
   return row;
 }
@@ -139,15 +131,13 @@ Row run_batch(scenario::SimulatorKind kind, const char* name, int jobs,
   row.sim = name;
   row.threads = jobs;
   row.sim_seconds = duration_s * kReplications;
-  const auto start = std::chrono::steady_clock::now();
   // allow_oversubscribe: like the tick-level `threads` rows, batch rows
   // measure whatever the host gives them — on a small box the jobs=4 row
   // records the oversubscription cost instead of refusing to run.
   exp::ExperimentRunner runner({.jobs = jobs, .allow_oversubscribe = true});
-  const std::vector<stats::RunResult> results =
-      runner.run(exp::replication_configs(cfg, kReplications));
-  row.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  std::vector<stats::RunResult> results;
+  row.wall_seconds = timed_seconds(
+      [&] { results = runner.run(exp::replication_configs(cfg, kReplications)); });
   for (const stats::RunResult& r : results) {
     row.completed += r.metrics.completed;
     double occupancy_samples = 0.0;

@@ -33,15 +33,6 @@
 namespace abp::bench {
 namespace {
 
-constexpr const char* kCompiler =
-#if defined(__clang__)
-    "clang " __clang_version__;
-#elif defined(__GNUC__)
-    "gcc " __VERSION__;
-#else
-    "unknown";
-#endif
-
 constexpr double kDt = 0.5;
 constexpr double kSpeedLimit = 13.9;
 constexpr double kRoadLength = 500.0;
@@ -128,19 +119,18 @@ Row measure(bool vectorized, int n, long long target_vehicle_steps) {
   // Warmup: one full reset cadence (pulls code+data hot, sizes the scratch).
   for (int t = 0; t < kResetEvery; ++t) tick(vectorized, s, rng, scratch);
   s = release_state(n);
-  const auto start = std::chrono::steady_clock::now();
-  for (long long t = 0; t < ticks; ++t) {
-    if (t % kResetEvery == 0) {
-      // Re-release the platoon so the regime mix stays fixed; same cadence
-      // and cost on both variants.
-      LaneState fresh = release_state(n);
-      std::copy(fresh.pos.begin(), fresh.pos.end(), s.pos.begin());
-      std::copy(fresh.speed.begin(), fresh.speed.end(), s.speed.begin());
+  row.wall_seconds = timed_seconds([&] {
+    for (long long t = 0; t < ticks; ++t) {
+      if (t % kResetEvery == 0) {
+        // Re-release the platoon so the regime mix stays fixed; same cadence
+        // and cost on both variants.
+        LaneState fresh = release_state(n);
+        std::copy(fresh.pos.begin(), fresh.pos.end(), s.pos.begin());
+        std::copy(fresh.speed.begin(), fresh.speed.end(), s.speed.begin());
+      }
+      tick(vectorized, s, rng, scratch);
     }
-    tick(vectorized, s, rng, scratch);
-  }
-  row.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  });
   row.vehicle_steps = ticks * n;
   // Sink the state so the loop cannot be optimized out.
   if (std::bit_cast<std::uint64_t>(s.pos[0]) == 0xdeadbeefULL) std::printf("!");

@@ -31,15 +31,6 @@
 namespace abp::bench {
 namespace {
 
-constexpr const char* kCompiler =
-#if defined(__clang__)
-    "clang " __clang_version__;
-#elif defined(__GNUC__)
-    "gcc " __VERSION__;
-#else
-    "unknown";
-#endif
-
 struct Row {
   int grid = 0;
   std::string sim;
@@ -79,19 +70,19 @@ Row run_one(scenario::SimulatorKind kind, const char* name, int n, int shards,
   row.shards = shards;
   row.sim_seconds = duration_s;
   const double ticks_per_second = 1.0 / dt_s;
-  const auto start = std::chrono::steady_clock::now();
-  const std::unique_ptr<sim::Simulator> sim = sim::make_simulator(cfg);
-  // Sample occupancy once per simulated second (a K-query round trip on the
-  // sharded path) — the same estimator bench_hotpath uses, so the two
-  // benches' vehicle-steps columns are directly comparable.
-  for (double t = 1.0; t <= duration_s; t += 1.0) {
-    sim->run_until(t);
-    row.vehicle_steps +=
-        static_cast<long long>(sim->vehicles_in_network() * ticks_per_second);
-  }
-  const stats::RunResult result = sim->finish(duration_s);
-  row.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  stats::RunResult result;
+  row.wall_seconds = timed_seconds([&] {
+    const std::unique_ptr<sim::Simulator> sim = sim::make_simulator(cfg);
+    // Sample occupancy once per simulated second (a K-query round trip on the
+    // sharded path) — the same estimator bench_hotpath uses, so the two
+    // benches' vehicle-steps columns are directly comparable.
+    for (double t = 1.0; t <= duration_s; t += 1.0) {
+      sim->run_until(t);
+      row.vehicle_steps +=
+          static_cast<long long>(sim->vehicles_in_network() * ticks_per_second);
+    }
+    result = sim->finish(duration_s);
+  });
   row.completed = result.metrics.completed;
   return row;
 }

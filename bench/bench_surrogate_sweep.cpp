@@ -1,0 +1,230 @@
+// Surrogate sweep bench: wall-clock of a paper-scale config sweep on the
+// micro backend vs the calibrated-surrogate protocol, with the achieved
+// surrogate error measured against ground truth (docs/PERFORMANCE.md,
+// "Surrogate throughput").
+//
+// Both arms evaluate the same ≥200-point controller x pattern x period grid
+// on the paper's 3x3 network:
+//
+//   micro-only   R micro replications per point (the paper-grade protocol:
+//                Student-t CIs need replications, and the micro backend is
+//                the reference model) — points x R micro runs.
+//   surrogate    calibrate once (src/surrogate/calibrator.hpp), one
+//                calibrated queue run per point, R-replicated micro spot
+//                checks on the frontier + a stratified sample
+//                (src/surrogate/sweep.hpp).
+//
+// Because the micro-only arm runs anyway, its per-point means are ground
+// truth: next to the sweep's own spot-check error bars the JSON reports the
+// *true* per-metric surrogate error over every point, and the frontier
+// regret (micro avg queuing of the surrogate's top pick vs the true best) —
+// so BENCH_surrogate.json shows both the speedup and what the speedup cost,
+// and whether the spot-check estimate tracked the truth.
+//
+// Output: stdout table, CSV mirror (per-point surrogate vs micro means)
+// under ./bench_results/, JSON report (argv[1], default BENCH_surrogate.json).
+// ABP_FAST=1 scales the horizon down 10x for smoke runs.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/exp/experiment_runner.hpp"
+#include "src/scenario/scenario.hpp"
+#include "src/surrogate/calibrator.hpp"
+#include "src/surrogate/metric_vector.hpp"
+#include "src/surrogate/sweep.hpp"
+
+namespace abp::bench {
+namespace {
+
+constexpr int kReplications = 5;  // the paper-grade per-point replication count
+
+struct TrueError {
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+}  // namespace
+}  // namespace abp::bench
+
+int main(int argc, char** argv) {
+  using namespace abp;
+  using namespace abp::bench;
+
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_surrogate.json";
+  const double duration_s = 1800.0 * duration_scale();
+  const std::uint64_t seed = 2020;
+
+  scenario::ScenarioConfig base =
+      scenario::paper_scenario(traffic::PatternKind::II, core::ControllerType::UtilBp);
+  base.duration_s = duration_s;
+  base.seed = seed;
+
+  surrogate::SweepAxes axes;
+  axes.controllers = {core::ControllerType::UtilBp, core::ControllerType::CapBp,
+                      core::ControllerType::OriginalBp, core::ControllerType::FixedTime};
+  axes.patterns = {traffic::PatternKind::I, traffic::PatternKind::II,
+                   traffic::PatternKind::III, traffic::PatternKind::IV,
+                   traffic::PatternKind::Mixed};
+  axes.periods_s = {6,  8,  10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32};
+  const std::vector<surrogate::SweepPoint> points = surrogate::axis_points(axes);
+
+  print_header("Surrogate sweep (micro-only vs calibrated surrogate + spot checks)");
+  std::printf("compiler: %s, hardware threads: %u\n", kCompiler,
+              std::thread::hardware_concurrency());
+  std::printf("grid=3x3 duration=%.0fs points=%zu replications=%d\n", duration_s,
+              points.size(), kReplications);
+  std::fflush(stdout);
+
+  // --- Arm 1: micro-only baseline — R replications of every point. Per-point
+  // batches keep peak memory at R RunResults; the runner is reused so both
+  // arms pay identical setup.
+  exp::ExperimentRunner runner({.jobs = 1});
+  std::vector<surrogate::MetricVector> micro_means(points.size());
+  const double micro_wall = timed_seconds([&] {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      scenario::ScenarioConfig cfg = base;
+      cfg.simulator = scenario::SimulatorKind::Micro;
+      surrogate::apply_sweep_point(cfg, points[i]);
+      const std::vector<stats::RunResult> results =
+          runner.run(exp::replication_configs(cfg, kReplications));
+      surrogate::MetricVector mean{};
+      for (const stats::RunResult& r : results) {
+        const surrogate::MetricVector m = surrogate::extract_metrics(r);
+        for (std::size_t c = 0; c < surrogate::kMetricCount; ++c) mean[c] += m[c];
+      }
+      for (double& v : mean) v /= static_cast<double>(results.size());
+      micro_means[i] = mean;
+    }
+  });
+  std::printf("micro-only: %zu runs, %.2f s wall\n", points.size() * kReplications,
+              micro_wall);
+  std::fflush(stdout);
+
+  // --- Arm 2: the surrogate protocol — calibration included in the clock
+  // (it is real cost the protocol pays; it amortizes over re-sweeps of the
+  // same family but is charged here in full).
+  surrogate::CalibrationOptions copt;
+  copt.replications = 3;
+  copt.duration_s = duration_s / 3.0;  // fits stabilize well before the horizon
+  copt.profile_name = "bench-3x3";
+  surrogate::CalibrationProfile profile;
+  const double calibration_wall =
+      timed_seconds([&] { profile = surrogate::calibrate(base, copt); });
+
+  surrogate::SweepOptions sopt;
+  sopt.best_k = 8;
+  sopt.sample_fraction = 0.05;
+  sopt.spot_replications = kReplications;
+  surrogate::SweepReport report;
+  const double sweep_wall = timed_seconds(
+      [&] { report = surrogate::surrogate_sweep(base, profile, axes, sopt); });
+  const double surrogate_wall = calibration_wall + sweep_wall;
+  const double speedup = micro_wall / surrogate_wall;
+
+  std::printf(
+      "calibrated: profile=%s service=%.4f transit=%.4f capacity=%.4f "
+      "(objective=%.4f, %.2f s wall)\n",
+      profile.name.c_str(), profile.service_scale, profile.transit_scale,
+      profile.capacity_scale, profile.objective, calibration_wall);
+  std::printf("surrogate: %zu queue runs + %d spot checks x %d reps, %.2f s wall\n",
+              points.size(), report.spot_checks, kReplications, sweep_wall);
+  std::printf("speedup: %.2fx (micro %.2f s / surrogate %.2f s)\n", speedup, micro_wall,
+              surrogate_wall);
+
+  // --- Achieved error: the spot-check estimate next to ground truth.
+  std::vector<TrueError> true_errors(surrogate::kMetricCount);
+  for (std::size_t c = 0; c < surrogate::kMetricCount; ++c) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const double denom =
+          std::max(std::abs(micro_means[i][c]), surrogate::kRelativeErrorFloor);
+      const double err = std::abs(report.rows[i].surrogate[c] - micro_means[i][c]) / denom;
+      true_errors[c].mean += err;
+      true_errors[c].max = std::max(true_errors[c].max, err);
+    }
+    true_errors[c].mean /= static_cast<double>(points.size());
+  }
+  std::printf("%-18s %28s %28s\n", "metric", "spot-check estimate (95% CI)",
+              "true error (mean / max)");
+  for (std::size_t c = 0; c < surrogate::kMetricCount; ++c) {
+    const surrogate::MetricErrorBar& bar = report.error_bars[c];
+    std::printf("%-18s %17.4f +/- %6.4f %18.4f / %6.4f\n", bar.metric.c_str(),
+                bar.mean_relative_error, bar.ci95_halfwidth, true_errors[c].mean,
+                true_errors[c].max);
+  }
+
+  // Frontier regret: how much worse (in true micro avg queuing time) is the
+  // surrogate's top pick than the true best point.
+  std::size_t true_best = 0, surrogate_best = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (micro_means[i][0] < micro_means[true_best][0]) true_best = i;
+    if (report.rows[i].rank == 0) surrogate_best = i;
+  }
+  const double regret =
+      micro_means[surrogate_best][0] / micro_means[true_best][0] - 1.0;
+  std::printf("frontier: surrogate pick true avg_queuing_s=%.2f vs best %.2f "
+              "(regret %.1f%%), flagged=%d/%d\n",
+              micro_means[surrogate_best][0], micro_means[true_best][0], regret * 100.0,
+              report.flagged, report.spot_checks);
+  std::fflush(stdout);
+
+  // --- CSV mirror: per-point surrogate vs micro-mean metrics.
+  std::ofstream csv = open_csv("surrogate_sweep");
+  csv << "controller,pattern,period_s,rank,spot_checked";
+  for (std::size_t c = 0; c < surrogate::kMetricCount; ++c) {
+    csv << ",surrogate_" << surrogate::kMetricNames[c] << ",micro_"
+        << surrogate::kMetricNames[c];
+  }
+  csv << "\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const surrogate::SweepRow& row = report.rows[i];
+    csv << core::controller_type_name(row.point.controller) << ","
+        << traffic::pattern_name(row.point.pattern) << "," << row.point.period_s << ","
+        << row.rank << "," << (row.spot_checked ? 1 : 0);
+    for (std::size_t c = 0; c < surrogate::kMetricCount; ++c) {
+      csv << "," << row.surrogate[c] << "," << micro_means[i][c];
+    }
+    csv << "\n";
+  }
+
+  // --- JSON report.
+  std::ofstream out(json_path);
+  out << "{\n  \"bench\": \"surrogate_sweep\",\n"
+      << "  \"compiler\": \"" << kCompiler << "\",\n"
+      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"grid\": \"3x3\",\n"
+      << "  \"sim_seconds\": " << duration_s << ",\n"
+      << "  \"points\": " << points.size() << ",\n"
+      << "  \"replications\": " << kReplications << ",\n"
+      << "  \"micro_runs\": " << points.size() * kReplications << ",\n"
+      << "  \"micro_only_wall_seconds\": " << micro_wall << ",\n"
+      << "  \"calibration_wall_seconds\": " << calibration_wall << ",\n"
+      << "  \"sweep_wall_seconds\": " << sweep_wall << ",\n"
+      << "  \"surrogate_wall_seconds\": " << surrogate_wall << ",\n"
+      << "  \"speedup\": " << speedup << ",\n"
+      << "  \"profile\": {\"service_scale\": " << profile.service_scale
+      << ", \"transit_scale\": " << profile.transit_scale
+      << ", \"capacity_scale\": " << profile.capacity_scale
+      << ", \"objective\": " << profile.objective << "},\n"
+      << "  \"spot_checks\": " << report.spot_checks << ",\n"
+      << "  \"flagged\": " << report.flagged << ",\n"
+      << "  \"frontier_regret\": " << regret << ",\n"
+      << "  \"error_bars\": [\n";
+  for (std::size_t c = 0; c < surrogate::kMetricCount; ++c) {
+    const surrogate::MetricErrorBar& bar = report.error_bars[c];
+    out << "    {\"metric\": \"" << bar.metric << "\", \"samples\": " << bar.samples
+        << ", \"mean_relative_error\": " << bar.mean_relative_error
+        << ", \"ci95_halfwidth\": " << bar.ci95_halfwidth
+        << ", \"max_relative_error\": " << bar.max_relative_error
+        << ", \"true_mean_relative_error\": " << true_errors[c].mean
+        << ", \"true_max_relative_error\": " << true_errors[c].max << "}"
+        << (c + 1 < surrogate::kMetricCount ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "[json] " << json_path << "\n";
+  return 0;
+}

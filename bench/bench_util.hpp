@@ -5,14 +5,52 @@
 // external re-plotting.
 #pragma once
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 
 #include "src/util/csv.hpp"
 
 namespace abp::bench {
+
+// Compiler identity stamped into every bench's JSON header so numbers from
+// different builds stay attributable.
+inline constexpr const char* kCompiler =
+#if defined(__clang__)
+    "clang " __clang_version__;
+#elif defined(__GNUC__)
+    "gcc " __VERSION__;
+#else
+    "unknown";
+#endif
+
+// The one timing loop every bench shares: wall-clock seconds of fn() on the
+// steady clock. Timed sections must do their own warmup and carry their own
+// optimization sinks; the helper only standardizes the clock and the unit.
+template <typename Fn>
+[[nodiscard]] inline double timed_seconds(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Best-of-N timing for sections cheap enough to repeat: runs fn() `rounds`
+// times and keeps the fastest wall clock, shedding scheduler noise the way
+// repeated interleaved measurement does. Deterministic workloads only — fn
+// must do the same work every round.
+template <typename Fn>
+[[nodiscard]] inline double best_of_seconds(int rounds, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < rounds; ++r) {
+    const double s = timed_seconds(fn);
+    if (s < best) best = s;
+  }
+  return best;
+}
 
 // Directory that receives the CSV mirrors of every bench result.
 inline std::filesystem::path results_dir() {

@@ -103,6 +103,8 @@ def main():
             note = "small grid (not gated)"
         elif min(wall1, wall4) < args.min_wall:
             note = f"too short to gate (<{args.min_wall}s wall)"
+        elif cores and cores < shards:
+            note = f"record-only ({shards} shards > {cores} cores)"
         elif not gating:
             note = "recorded, not gated"
         elif speedup < args.speedup:

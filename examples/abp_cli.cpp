@@ -19,6 +19,10 @@
 //           [--guard throw|record|abort] [--guard-interval S]
 //           [--detect] [--detect-adapt]
 //           [--tick-budget N] [--retries N]
+//           [--calibrate] [--surrogate-sweep] [--profile FILE] [--report FILE]
+//           [--sweep-controllers LIST] [--sweep-patterns LIST]
+//           [--sweep-periods LIST] [--spot-best-k N] [--spot-fraction F]
+//           [--spot-replications N] [--trust-threshold X]
 //
 // Declarative scenarios (docs/SCENARIOS.md): --scenario FILE loads a JSON
 // scenario — one of the scenarios/ library files or your own — as the base
@@ -59,6 +63,19 @@
 // per-seed statuses (ok / timeout / error) are reported and the summary is
 // computed over the runs that completed.
 //
+// Surrogate pipeline (docs/PERFORMANCE.md, "Surrogate throughput"):
+// --calibrate fits the queue backend to the micro backend for the merged
+// base configuration and prints the CalibrationProfile JSON to stdout (pipe
+// to a file; --replications sets the paired replications per candidate).
+// --surrogate-sweep runs the controller x pattern x period grid given by the
+// comma-separated --sweep-* lists on the calibrated queue backend, micro
+// spot-checks the frontier (--spot-best-k plus a --spot-fraction stratified
+// sample, --spot-replications micro seeds each), and prints per-metric
+// surrogate error bars; --profile FILE supplies a saved profile (otherwise
+// the sweep calibrates first), --report FILE also writes the full report
+// JSON, and exit status 4 means some spot-checked config exceeded
+// --trust-threshold relative error.
+//
 // Examples:
 //   abp_cli --pattern I --controller util
 //   abp_cli --pattern mixed --controller cap --period 20 --csv out/run1
@@ -82,6 +99,9 @@
 #include "src/scenario/scenario.hpp"
 #include "src/scenario/scenario_io.hpp"
 #include "src/stats/student_t.hpp"
+#include "src/surrogate/calibration_profile.hpp"
+#include "src/surrogate/calibrator.hpp"
+#include "src/surrogate/sweep.hpp"
 #include "src/util/accumulator.hpp"
 #include "src/util/csv.hpp"
 
@@ -106,7 +126,12 @@ namespace {
                "               [--fault-controller R,C,FAIL[,RECOVER]]\n"
                "               [--guard throw|record|abort] [--guard-interval S]\n"
                "               [--detect] [--detect-adapt]\n"
-               "               [--tick-budget N] [--retries N]\n");
+               "               [--tick-budget N] [--retries N]\n"
+               "               [--calibrate] [--surrogate-sweep] [--profile FILE]\n"
+               "               [--report FILE] [--sweep-controllers LIST]\n"
+               "               [--sweep-patterns LIST] [--sweep-periods LIST]\n"
+               "               [--spot-best-k N] [--spot-fraction F]\n"
+               "               [--spot-replications N] [--trust-threshold X]\n");
   std::exit(2);
 }
 
@@ -254,6 +279,16 @@ int main(int argc, char** argv) {
   scenario::FaultSchedule faults;
   scenario::GuardConfig guard;
   std::string csv_prefix;
+  bool calibrate_mode = false;
+  bool sweep_mode = false;
+  std::string profile_file;
+  std::string report_file;
+  // Sweep axes as the raw comma-separated flag values; parsed after the flag
+  // loop so error messages can name the flag.
+  std::string sweep_controllers = "util,cap,orig,fixed";
+  std::string sweep_patterns = "I,II,III,IV";
+  std::string sweep_periods = "12,16,20";
+  surrogate::SweepOptions sweep_options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -368,6 +403,28 @@ int main(int argc, char** argv) {
       detect_adapt = true;
     } else if (arg == "--csv") {
       csv_prefix = value();
+    } else if (arg == "--calibrate") {
+      calibrate_mode = true;
+    } else if (arg == "--surrogate-sweep") {
+      sweep_mode = true;
+    } else if (arg == "--profile") {
+      profile_file = value();
+    } else if (arg == "--report") {
+      report_file = value();
+    } else if (arg == "--sweep-controllers") {
+      sweep_controllers = value();
+    } else if (arg == "--sweep-patterns") {
+      sweep_patterns = value();
+    } else if (arg == "--sweep-periods") {
+      sweep_periods = value();
+    } else if (arg == "--spot-best-k") {
+      sweep_options.best_k = parse_int(value(), "--spot-best-k");
+    } else if (arg == "--spot-fraction") {
+      sweep_options.sample_fraction = parse_double(value(), "--spot-fraction");
+    } else if (arg == "--spot-replications") {
+      sweep_options.spot_replications = parse_int(value(), "--spot-replications");
+    } else if (arg == "--trust-threshold") {
+      sweep_options.trust_threshold = parse_double(value(), "--trust-threshold");
     } else if (arg == "--help" || arg == "-h") {
       usage_error("help requested");
     } else {
@@ -386,8 +443,24 @@ int main(int argc, char** argv) {
   if (shards < 1 || shards > 256) usage_error("--shards must be in [1, 256]");
   if (replications < 1) usage_error("--replications must be >= 1");
   if (jobs < 1 || jobs > 256) usage_error("--jobs must be in [1, 256]");
-  if (jobs > 1 && replications == 1) {
-    usage_error("--jobs only applies to --replications batches");
+  if (jobs > 1 && replications == 1 && !calibrate_mode && !sweep_mode) {
+    usage_error("--jobs only applies to --replications batches or surrogate modes");
+  }
+  if (sweep_options.best_k < 0) usage_error("--spot-best-k must be >= 0");
+  if (sweep_options.sample_fraction < 0.0) {
+    usage_error("--spot-fraction must be >= 0");
+  }
+  if (sweep_options.spot_replications < 1) {
+    usage_error("--spot-replications must be >= 1");
+  }
+  if (!(sweep_options.trust_threshold > 0.0)) {
+    usage_error("--trust-threshold must be > 0");
+  }
+  if (!profile_file.empty() && !(calibrate_mode || sweep_mode)) {
+    usage_error("--profile only applies to --surrogate-sweep (or --calibrate)");
+  }
+  if (!report_file.empty() && !sweep_mode) {
+    usage_error("--report only applies to --surrogate-sweep");
   }
   if (tick_budget < 0) usage_error("--tick-budget must be >= 0");
   if (retries < 0) usage_error("--retries must be >= 0");
@@ -462,6 +535,86 @@ int main(int argc, char** argv) {
     try {
       std::fputs(scenario::dump_scenario(cfg).c_str(), stdout);
       return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "abp_cli: error: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  if (calibrate_mode || sweep_mode) {
+    try {
+      surrogate::CalibrationProfile profile;
+      if (!profile_file.empty()) {
+        profile = surrogate::load_profile_file(profile_file);
+      } else {
+        surrogate::CalibrationOptions copt;
+        copt.jobs = jobs;
+        copt.allow_oversubscribe = allow_oversubscribe;
+        if (replications > 1) copt.replications = replications;
+        profile = surrogate::calibrate(cfg, copt);
+        std::fprintf(stderr,
+                     "abp_cli: calibrated profile=%s service_scale=%.4f "
+                     "transit_scale=%.4f capacity_scale=%.4f objective=%.6f "
+                     "evaluations=%d\n",
+                     profile.name.c_str(), profile.service_scale,
+                     profile.transit_scale, profile.capacity_scale,
+                     profile.objective, profile.evaluations);
+      }
+      if (calibrate_mode && !sweep_mode) {
+        std::fputs(surrogate::dump_profile(profile).c_str(), stdout);
+        return 0;
+      }
+
+      surrogate::SweepAxes axes;
+      for (const std::string& c : split_fields(sweep_controllers)) {
+        axes.controllers.push_back(parse_controller(c));
+      }
+      for (const std::string& p : split_fields(sweep_patterns)) {
+        axes.patterns.push_back(parse_pattern(p));
+      }
+      for (const std::string& p : split_fields(sweep_periods)) {
+        axes.periods_s.push_back(parse_double(p, "--sweep-periods"));
+      }
+      sweep_options.jobs = jobs;
+      sweep_options.allow_oversubscribe = allow_oversubscribe;
+
+      const surrogate::SweepReport report =
+          surrogate::surrogate_sweep(cfg, profile, axes, sweep_options);
+      std::printf("sweep points=%zu spot_checks=%d flagged=%d jobs=%d profile=%s\n",
+                  report.rows.size(), report.spot_checks, report.flagged, jobs,
+                  report.profile.name.c_str());
+      for (const surrogate::MetricErrorBar& bar : report.error_bars) {
+        std::printf(
+            "error_bar metric=%s samples=%d mean_rel_err=%.4f ci95_halfwidth=%.4f "
+            "max_rel_err=%.4f\n",
+            bar.metric.c_str(), bar.samples, bar.mean_relative_error,
+            bar.ci95_halfwidth, bar.max_relative_error);
+      }
+      // The frontier the sweep exists to find: best-ranked configs first.
+      std::vector<const surrogate::SweepRow*> by_rank(report.rows.size());
+      for (const surrogate::SweepRow& row : report.rows) {
+        by_rank[static_cast<std::size_t>(row.rank)] = &row;
+      }
+      const std::size_t shown = by_rank.size() < 10 ? by_rank.size() : 10;
+      for (std::size_t r = 0; r < shown; ++r) {
+        const surrogate::SweepRow& row = *by_rank[r];
+        std::printf(
+            "rank=%zu controller=%s pattern=%s period_s=%.0f avg_queuing_s=%.2f%s\n", r,
+            core::controller_type_name(row.point.controller).c_str(),
+            traffic::pattern_name(row.point.pattern).c_str(), row.point.period_s,
+            row.surrogate[0],
+            row.spot_checked ? (row.spot.trusted ? " spot=ok" : " spot=FLAGGED") : "");
+      }
+      if (!report_file.empty()) {
+        std::ofstream out(report_file, std::ios::binary);
+        if (!out) {
+          std::fprintf(stderr, "abp_cli: cannot write %s\n", report_file.c_str());
+          return 1;
+        }
+        out << surrogate::dump_report(report);
+        std::printf("report written: %s\n", report_file.c_str());
+      }
+      return report.flagged > 0 ? 4 : 0;
     } catch (const std::exception& e) {
       std::fprintf(stderr, "abp_cli: error: %s\n", e.what());
       return 1;

@@ -77,6 +77,27 @@ struct ShardConfig {
   double crash_at_s = -1.0;
 };
 
+// Calibrated-surrogate parameters (src/surrogate/; docs/PERFORMANCE.md,
+// "Surrogate throughput"). When enabled and the run selects the queue
+// backend, the grid's uniform service-rate / transit-time / capacity scalars
+// are rescaled by these factors before network construction, so the queue
+// sim imitates the micro sim's behavior for the scenario family the profile
+// was fitted on. The micro backend ignores the section entirely (it is the
+// calibration *target*), so a profile can be attached to a scenario without
+// perturbing its micro-sim pins.
+struct SurrogateConfig {
+  bool enabled = false;
+  // Multiplies GridConfig::service_rate (junction discharge, veh/s/link).
+  double service_scale = 1.0;
+  // Divides GridConfig::speed_limit_mps: transit_scale > 1 means vehicles
+  // take proportionally longer to traverse a road than the design speed.
+  double transit_scale = 1.0;
+  // Multiplies GridConfig::capacity (rounded, floored at 1 vehicle).
+  double capacity_scale = 1.0;
+  // Name of the CalibrationProfile these scales came from ("" = hand-set).
+  std::string profile;
+};
+
 struct ScenarioConfig {
   // Descriptive metadata (scenario library identity; empty for programmatic
   // configs). `name` keys the library's golden determinism pins.
@@ -105,6 +126,8 @@ struct ScenarioConfig {
   // Multi-process sharding (count > 1 routes make_simulator through
   // sim::ShardedSimulator; see docs/SHARDING.md).
   ShardConfig shard;
+  // Calibrated-surrogate rescaling of the queue backend (src/surrogate/).
+  SurrogateConfig surrogate;
 };
 
 // Tick-level parallelism the config's *selected* backend will use: the

@@ -25,7 +25,7 @@ constexpr const char* kTopKeys[] = {
     "version", "name",  "description", "simulator",  "duration_s",
     "seed",    "grid",  "demand",      "controller", "controller_overrides",
     "micro",   "queue", "watches",     "faults",     "guard",
-    "detector", "shard"};
+    "detector", "shard", "surrogate"};
 constexpr const char* kGridKeys[] = {
     "rows",           "cols",     "road_length_m", "boundary_length_m",
     "speed_limit_mps", "capacity", "service_rate",  "handedness"};
@@ -78,6 +78,8 @@ constexpr const char* kDetectorKeys[] = {
 // crash_worker/crash_at_s are deliberately absent: the crash hook is a test
 // knob, not part of the declarative schema.
 constexpr const char* kShardKeys[] = {"count", "allow_oversubscribe"};
+constexpr const char* kSurrogateKeys[] = {"enabled", "service_scale", "transit_scale",
+                                          "capacity_scale", "profile"};
 
 void check_keys(const json::Value& obj, std::span<const char* const> allowed,
                 const std::string& path) {
@@ -758,6 +760,30 @@ void load_shard(const json::Value& v, ShardConfig& shard, const std::string& pat
   if (shard.count > 256) fail(path + ".count", "must be <= 256");
 }
 
+void load_surrogate(const json::Value& v, SurrogateConfig& surrogate,
+                    const std::string& path) {
+  expect_object(v, path);
+  check_keys(v, kSurrogateKeys, path);
+  if (const auto* f = v.find("enabled")) {
+    surrogate.enabled = read_bool(*f, path + ".enabled");
+  }
+  if (const auto* f = v.find("service_scale")) {
+    surrogate.service_scale = read_double(*f, path + ".service_scale");
+  }
+  if (const auto* f = v.find("transit_scale")) {
+    surrogate.transit_scale = read_double(*f, path + ".transit_scale");
+  }
+  if (const auto* f = v.find("capacity_scale")) {
+    surrogate.capacity_scale = read_double(*f, path + ".capacity_scale");
+  }
+  if (const auto* f = v.find("profile")) {
+    surrogate.profile = read_string(*f, path + ".profile");
+  }
+  if (!(surrogate.service_scale > 0.0)) fail(path + ".service_scale", "must be > 0");
+  if (!(surrogate.transit_scale > 0.0)) fail(path + ".transit_scale", "must be > 0");
+  if (!(surrogate.capacity_scale > 0.0)) fail(path + ".capacity_scale", "must be > 0");
+}
+
 // --- Section dumpers --------------------------------------------------------
 
 json::Value dump_node(const GridNodeRef& node) {
@@ -878,6 +904,9 @@ ScenarioConfig load_scenario(std::string_view json_text) {
   if (const auto* f = doc.find("guard")) load_guard(*f, cfg.guard, "guard");
   if (const auto* f = doc.find("detector")) load_detector(*f, cfg.detector, "detector");
   if (const auto* f = doc.find("shard")) load_shard(*f, cfg.shard, "shard");
+  if (const auto* f = doc.find("surrogate")) {
+    load_surrogate(*f, cfg.surrogate, "surrogate");
+  }
   return cfg;
 }
 
@@ -1070,6 +1099,15 @@ std::string dump_scenario(const ScenarioConfig& config) {
             json::Value::boolean(config.shard.allow_oversubscribe));
   doc.set("shard", std::move(shard));
 
+  json::Value surrogate = json::Value::object();
+  surrogate.set("enabled", json::Value::boolean(config.surrogate.enabled));
+  surrogate.set("service_scale", json::Value::number(config.surrogate.service_scale));
+  surrogate.set("transit_scale", json::Value::number(config.surrogate.transit_scale));
+  surrogate.set("capacity_scale",
+                json::Value::number(config.surrogate.capacity_scale));
+  surrogate.set("profile", json::Value::string(config.surrogate.profile));
+  doc.set("surrogate", std::move(surrogate));
+
   return json::dump(doc);
 }
 
@@ -1109,6 +1147,7 @@ std::vector<std::string> schema_field_paths() {
   add("guard", kGuardKeys);
   add("detector", kDetectorKeys);
   add("shard", kShardKeys);
+  add("surrogate", kSurrogateKeys);
   return out;
 }
 

@@ -256,7 +256,7 @@ class ShardedSimulator final : public sim::Simulator {
  public:
   explicit ShardedSimulator(const scenario::ScenarioConfig& config)
       : config_(config),
-        network_(sim::build_validated(config.grid)),
+        network_(sim::build_validated(sim::effective_grid(config))),
         plan_(net::partition_rows(network_, config.shard.count)) {
     if (config_.guard.enabled) {
       throw std::invalid_argument(

@@ -33,7 +33,7 @@ WorkerCore<Backend>::WorkerCore(const scenario::ScenarioConfig& config, net::Sha
       plan_(std::move(plan)),
       shard_(shard),
       links_(links),
-      network_(sim::build_validated(config.grid)),
+      network_(sim::build_validated(sim::effective_grid(config))),
       demand_(network_, config.demand, config.seed),
       sim_(sim::construct_backend<Backend>(
           config, network_, demand_,

@@ -1,6 +1,7 @@
 #include "src/sim/run_setup.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -68,6 +69,22 @@ net::Network build_validated(const net::GridConfig& grid) {
   net::Network network = net::build_grid(grid);
   net::validate_or_throw(network);
   return network;
+}
+
+net::GridConfig effective_grid(const scenario::ScenarioConfig& config) {
+  net::GridConfig grid = config.grid;
+  if (!config.surrogate.enabled ||
+      config.simulator != scenario::SimulatorKind::Queue) {
+    return grid;
+  }
+  const scenario::SurrogateConfig& s = config.surrogate;
+  grid.service_rate *= s.service_scale;
+  // transit_scale > 1 = slower traversal; dividing the speed limit keeps the
+  // design travel time's scale factor exact (length is untouched).
+  grid.speed_limit_mps /= s.transit_scale;
+  grid.capacity = std::max(
+      1, static_cast<int>(std::lround(s.capacity_scale * grid.capacity)));
+  return grid;
 }
 
 IntersectionId resolve_node(const net::Network& network, int row, int col,

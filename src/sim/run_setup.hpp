@@ -43,6 +43,15 @@ inline constexpr std::uint64_t kMicroSeedSalt = 0x5157ULL;
 // Builds and validates the grid before any backend state references it.
 [[nodiscard]] net::Network build_validated(const net::GridConfig& grid);
 
+// The grid the run actually builds: config.grid, with the surrogate
+// calibration scales applied when the config enables them AND selects the
+// queue backend. The micro backend always runs the design grid — it is the
+// calibration target, so attaching a profile to a scenario must not perturb
+// its micro pins. Every construction path (monolithic, sharded coordinator,
+// shard workers) must funnel through this so a calibrated run is bit-identical
+// at every shard/thread count.
+[[nodiscard]] net::GridConfig effective_grid(const scenario::ScenarioConfig& config);
+
 // Resolves a grid (row, col) reference; throws std::invalid_argument naming
 // `what` when the node lies outside the grid.
 [[nodiscard]] IntersectionId resolve_node(const net::Network& network, int row, int col,

@@ -38,7 +38,7 @@ template <typename Backend>
 class BackendSimulator final : public Simulator {
  public:
   explicit BackendSimulator(const scenario::ScenarioConfig& config)
-      : network_(build_validated(config.grid)),
+      : network_(build_validated(effective_grid(config))),
         demand_(network_, config.demand, config.seed),
         sim_(construct_backend<Backend>(
             config, network_, demand_,

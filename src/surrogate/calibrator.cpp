@@ -1,0 +1,131 @@
+#include "src/surrogate/calibrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "src/exp/experiment_runner.hpp"
+#include "src/surrogate/metric_vector.hpp"
+
+namespace abp::surrogate {
+namespace {
+
+MetricVector mean_metrics(const std::vector<stats::RunResult>& results) {
+  MetricVector mean{};
+  for (const stats::RunResult& r : results) {
+    const MetricVector m = extract_metrics(r);
+    for (std::size_t i = 0; i < kMetricCount; ++i) mean[i] += m[i];
+  }
+  for (double& v : mean) v /= static_cast<double>(results.size());
+  return mean;
+}
+
+double objective(const MetricVector& candidate, const MetricVector& target) {
+  double sse = 0.0;
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    const double denom = std::max(std::abs(target[i]), kRelativeErrorFloor);
+    const double r = (candidate[i] - target[i]) / denom;
+    sse += r * r;
+  }
+  return sse;
+}
+
+}  // namespace
+
+CalibrationProfile calibrate(const scenario::ScenarioConfig& base,
+                             const CalibrationOptions& options) {
+  if (options.replications < 1) {
+    throw std::invalid_argument("calibration replications must be >= 1");
+  }
+  if (options.passes < 1) throw std::invalid_argument("calibration passes must be >= 1");
+  if (!(options.initial_step > 0.0)) {
+    throw std::invalid_argument("calibration initial_step must be > 0");
+  }
+  if (!(options.min_scale > 0.0) || !(options.max_scale >= options.min_scale)) {
+    throw std::invalid_argument("calibration scale bounds must satisfy 0 < min <= max");
+  }
+
+  scenario::ScenarioConfig family = base;
+  if (options.duration_s > 0.0) family.duration_s = options.duration_s;
+  family.surrogate = scenario::SurrogateConfig{};
+
+  exp::BatchOptions batch;
+  batch.jobs = options.jobs;
+  batch.allow_oversubscribe = options.allow_oversubscribe;
+  exp::ExperimentRunner runner(batch);
+
+  // Fit targets: R micro replications of the family, averaged.
+  scenario::ScenarioConfig micro = family;
+  micro.simulator = scenario::SimulatorKind::Micro;
+  const MetricVector target =
+      mean_metrics(runner.run(exp::replication_configs(micro, options.replications)));
+
+  scenario::ScenarioConfig queue = family;
+  queue.simulator = scenario::SimulatorKind::Queue;
+  queue.surrogate.enabled = true;
+
+  int evaluations = 0;
+  // Candidates repeat across passes once steps shrink; cache on the exact
+  // triple so a revisit costs nothing (and cannot re-randomize anything).
+  std::map<std::tuple<double, double, double>, double> cache;
+  const auto score = [&](double service, double transit, double capacity) {
+    const auto key = std::make_tuple(service, transit, capacity);
+    if (const auto it = cache.find(key); it != cache.end()) return it->second;
+    scenario::ScenarioConfig candidate = queue;
+    candidate.surrogate.service_scale = service;
+    candidate.surrogate.transit_scale = transit;
+    candidate.surrogate.capacity_scale = capacity;
+    const double sse = objective(
+        mean_metrics(
+            runner.run(exp::replication_configs(candidate, options.replications))),
+        target);
+    ++evaluations;
+    cache.emplace(key, sse);
+    return sse;
+  };
+
+  const auto clamp = [&](double v) {
+    return std::clamp(v, options.min_scale, options.max_scale);
+  };
+
+  double scales[3] = {1.0, 1.0, 1.0};
+  double best = score(scales[0], scales[1], scales[2]);
+  double step = options.initial_step;
+  for (int pass = 0; pass < options.passes; ++pass, step *= 0.5) {
+    for (int c = 0; c < 3; ++c) {
+      // Fixed trial order (minus, then plus); strictly-better moves only, so
+      // ties keep the incumbent and the walk is deterministic.
+      for (const double delta : {-step, step}) {
+        const double moved = clamp(scales[c] + delta);
+        if (moved == scales[c]) continue;
+        double trial[3] = {scales[0], scales[1], scales[2]};
+        trial[c] = moved;
+        const double sse = score(trial[0], trial[1], trial[2]);
+        if (sse < best) {
+          best = sse;
+          scales[c] = moved;
+        }
+      }
+    }
+  }
+
+  CalibrationProfile profile;
+  profile.name = options.profile_name.empty()
+                     ? (family.name.empty() ? "fit" : family.name + "-fit")
+                     : options.profile_name;
+  profile.scenario = family.name;
+  profile.service_scale = scales[0];
+  profile.transit_scale = scales[1];
+  profile.capacity_scale = scales[2];
+  profile.objective = best;
+  profile.evaluations = evaluations;
+  profile.replications = options.replications;
+  profile.duration_s = family.duration_s;
+  profile.seed = family.seed;
+  return profile;
+}
+
+}  // namespace abp::surrogate

@@ -1,0 +1,62 @@
+// Calibrator: least-squares fit of the queue backend to the micro backend.
+//
+// The queue sim is the cheap stand-in for the micro sim (ROADMAP, "Surrogate
+// pipeline"), but out of the box its uniform service/transit/capacity
+// parameters describe the *design* network, not the network the micro sim's
+// car-following dynamics effectively realize (junction crossing time, amber
+// lost time, dawdling and insertion gaps all shave real throughput off the
+// design service rate). calibrate() measures that gap and closes it:
+//
+//   1. Run R paired replications of the scenario family on the micro backend
+//      (seeds base.seed + 0..R-1 via exp::replication_configs) and average
+//      the shared metric vector (metric_vector.hpp) — the fit targets.
+//   2. Coordinate descent over the three SurrogateConfig scales on a fixed
+//      lattice: per pass, each coordinate in a fixed order tries +/- the
+//      pass's step; a candidate is scored by running the same R replication
+//      seeds on the rescaled queue backend and taking the weighted relative
+//      SSE against the targets; strictly-better moves are kept. Steps halve
+//      each pass.
+//
+// Determinism: every candidate's score is a pure function of (config, seed)
+// — ExperimentRunner batches are bit-identical at every jobs count, the
+// descent visits candidates in a fixed order, and ties keep the incumbent —
+// so the fitted CalibrationProfile is bit-identical however many jobs the
+// calibration itself used. Pinned by surrogate_pipeline_test.
+#pragma once
+
+#include "src/scenario/scenario_config.hpp"
+#include "src/surrogate/calibration_profile.hpp"
+
+namespace abp::surrogate {
+
+struct CalibrationOptions {
+  // Paired replications per candidate evaluation (micro targets use the
+  // same count and seeds).
+  int replications = 3;
+  // Run-level parallelism for each batch (exp::BatchOptions::jobs).
+  int jobs = 1;
+  bool allow_oversubscribe = false;
+  // Coordinate-descent schedule: `passes` rounds over the three scales, the
+  // first with +/- `initial_step`, halving each round.
+  int passes = 3;
+  double initial_step = 0.5;
+  // Scale bounds: candidates are clamped to [min_scale, max_scale].
+  double min_scale = 0.25;
+  double max_scale = 4.0;
+  // Calibration horizon override; 0 = the base config's duration_s. Fits
+  // usually stabilize well before the full evaluation horizon, and a shorter
+  // window keeps the one-off calibration cost small next to the sweep it
+  // amortizes over.
+  double duration_s = 0.0;
+  // Name stamped into the profile ("" = "<scenario>-fit").
+  std::string profile_name;
+};
+
+// Fits the queue backend to the micro backend for `base`'s scenario family
+// and returns the profile (base's own simulator/surrogate fields are
+// ignored; both backends run from the same family definition). Throws
+// std::invalid_argument on nonsensical options and propagates run failures.
+[[nodiscard]] CalibrationProfile calibrate(const scenario::ScenarioConfig& base,
+                                           const CalibrationOptions& options = {});
+
+}  // namespace abp::surrogate

@@ -1,0 +1,37 @@
+// The metric vector both surrogate stages share: the calibrator fits the
+// queue backend to the micro backend over these components, and the sweep
+// driver reports per-component surrogate error bars over the same ones — so
+// "what was fitted" and "what the error bars measure" cannot drift apart.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "src/stats/run_result.hpp"
+
+namespace abp::surrogate {
+
+// Component order is part of the module's contract (reports and profiles
+// index it); append-only.
+inline constexpr std::size_t kMetricCount = 4;
+inline constexpr const char* kMetricNames[kMetricCount] = {
+    "avg_queuing_s", "avg_travel_s", "completed", "mean_in_network"};
+
+using MetricVector = std::array<double, kMetricCount>;
+
+// Relative-error floor shared by the calibrator's objective and the sweep's
+// error bars: metrics whose reference magnitude is below this are compared
+// absolutely, so a near-zero target (e.g. zero queuing on a free-flowing
+// family) cannot blow a relative residual up.
+inline constexpr double kRelativeErrorFloor = 1.0;
+
+// The comparable summary of one run: network-average queuing and travel time
+// per vehicle, completed-vehicle throughput, and the time-weighted mean
+// vehicle count in the network (the paper's stability signal).
+[[nodiscard]] inline MetricVector extract_metrics(const stats::RunResult& r) {
+  return {r.metrics.average_queuing_time_s(), r.metrics.average_travel_time_s(),
+          static_cast<double>(r.metrics.completed),
+          r.in_network_series.time_weighted_mean()};
+}
+
+}  // namespace abp::surrogate

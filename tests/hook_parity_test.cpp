@@ -1,0 +1,91 @@
+// Cross-backend hook parity: the contract the surrogate calibrator fits
+// against (src/surrogate/calibrator.hpp). The calibrator compares the two
+// backends purely through the unified interface's introspection hooks —
+// road_occupancy, queued_on_road, vehicles_in_network — so this test pins
+// that one scenario run on both backends exposes hooks that agree in shape
+// (same road set, same capacities), bounds (queue <= occupancy <= W) and
+// conservation (every admitted vehicle is on exactly one road or has
+// completed). cross_sim_invariants_test checks each backend against physics;
+// this test additionally checks the two backends against *each other*, so a
+// hook whose meaning drifts on one backend (e.g. occupancy quietly dropping
+// mid-junction vehicles) breaks the parity here before it skews a fit.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/scenario/scenario.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace abp {
+namespace {
+
+scenario::ScenarioConfig parity_scenario(scenario::SimulatorKind kind) {
+  scenario::ScenarioConfig cfg = scenario::paper_scenario(
+      traffic::PatternKind::II, core::ControllerType::UtilBp);
+  cfg.grid.rows = 2;
+  cfg.grid.cols = 2;
+  cfg.seed = 7;
+  cfg.simulator = kind;
+  return cfg;
+}
+
+TEST(HookParity, ShapeBoundsAndConservationAgreeAcrossBackends) {
+  const auto micro = sim::make_simulator(
+      parity_scenario(scenario::SimulatorKind::Micro));
+  const auto queue = sim::make_simulator(
+      parity_scenario(scenario::SimulatorKind::Queue));
+
+  // Shape: both backends run the identical validated topology, so every
+  // road-indexed hook is comparable element-wise.
+  const net::Network& mnet = micro->network();
+  const net::Network& qnet = queue->network();
+  ASSERT_EQ(mnet.roads().size(), qnet.roads().size());
+  ASSERT_EQ(mnet.intersections().size(), qnet.intersections().size());
+  for (std::size_t r = 0; r < mnet.roads().size(); ++r) {
+    ASSERT_EQ(mnet.roads()[r].capacity, qnet.roads()[r].capacity);
+  }
+
+  for (int t = 10; t <= 400; t += 10) {
+    const stats::RunResult& mr = micro->run_until(static_cast<double>(t));
+    const stats::RunResult& qr = queue->run_until(static_cast<double>(t));
+    for (const sim::Simulator* s : {micro.get(), queue.get()}) {
+      const stats::RunResult& r = s == micro.get() ? mr : qr;
+      // Conservation through the hooks: admitted = completed + in-network.
+      ASSERT_EQ(static_cast<long long>(r.metrics.entered),
+                static_cast<long long>(r.metrics.completed) + s->vehicles_in_network())
+          << "t=" << t;
+      // Every in-network vehicle is on exactly one road (mid-junction
+      // vehicles count at the road holding their reservation), so occupancy
+      // sums to the network total — the identity that makes road_occupancy a
+      // fit signal rather than a lower bound.
+      long long occupancy_sum = 0;
+      for (const net::Road& road : s->network().roads()) {
+        const int occ = s->road_occupancy(road.id);
+        const int queued = s->queued_on_road(road.id);
+        ASSERT_GE(queued, 0) << road.name << " t=" << t;
+        ASSERT_LE(queued, occ) << road.name << " t=" << t;
+        ASSERT_LE(occ, road.capacity) << road.name << " t=" << t;
+        occupancy_sum += occ;
+      }
+      ASSERT_EQ(occupancy_sum, s->vehicles_in_network()) << "t=" << t;
+    }
+  }
+
+  // Cross-backend agreement in magnitude: same demand process, same design
+  // network — the surrogate premise is that the queue model tracks the micro
+  // model's aggregates before any calibration, within model error. The
+  // factor-of-three band is deliberately loose (calibration exists to close
+  // the residual gap); both backends must at least move real traffic.
+  const stats::RunResult mfinal = micro->finish(400.0);
+  const stats::RunResult qfinal = queue->finish(400.0);
+  ASSERT_GT(mfinal.metrics.completed, 0u);
+  ASSERT_GT(qfinal.metrics.completed, 0u);
+  const double ratio = static_cast<double>(mfinal.metrics.completed) /
+                       static_cast<double>(qfinal.metrics.completed);
+  EXPECT_GT(ratio, 1.0 / 3.0);
+  EXPECT_LT(ratio, 3.0);
+}
+
+}  // namespace
+}  // namespace abp

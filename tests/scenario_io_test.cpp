@@ -35,21 +35,23 @@ TEST(ScenarioIoTest, EmptyObjectNeedsVersion) {
 
 TEST(ScenarioIoTest, UnsupportedVersionIsRejected) {
   ExpectLoadError(
-      R"({"version": 4})",
-      "version: unsupported schema version 4 (this build reads versions 1 through 3)");
+      R"({"version": 5})",
+      "version: unsupported schema version 5 (this build reads versions 1 through 4)");
   ExpectLoadError(
       R"({"version": 0})",
-      "version: unsupported schema version 0 (this build reads versions 1 through 3)");
+      "version: unsupported schema version 0 (this build reads versions 1 through 4)");
 }
 
 TEST(ScenarioIoTest, OlderSchemaVersionsStillLoad) {
-  // Version 1 predates the detector (v2) and shard (v3) sections; a v1
-  // document loads with both at their disabled defaults and re-dumps at the
-  // current version.
+  // Version 1 predates the detector (v2), shard (v3) and surrogate (v4)
+  // sections; a v1 document loads with all of them at their disabled
+  // defaults and re-dumps at the current version.
   const ScenarioConfig cfg = load_scenario(R"({"version": 1})");
   EXPECT_FALSE(cfg.detector.enabled);
   EXPECT_EQ(cfg.shard.count, 1);
-  EXPECT_NE(dump_scenario(cfg).find("\"version\": 3"), std::string::npos);
+  EXPECT_FALSE(cfg.surrogate.enabled);
+  EXPECT_EQ(cfg.surrogate.service_scale, 1.0);
+  EXPECT_NE(dump_scenario(cfg).find("\"version\": 4"), std::string::npos);
 }
 
 TEST(ScenarioIoTest, MinimalScenarioLoadsDefaults) {
